@@ -1,0 +1,45 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+All benchmarks share one :class:`ExperimentContext` per session so that
+configurations common to several figures (e.g. the CD1 baseline runs) are
+simulated exactly once.  The scale is selected by ``REPRO_SCALE``
+(tiny/small/medium/full; default small — see ``repro.workloads.suites``).
+
+Each benchmark prints the regenerated figure table and also writes it to
+``benchmarks/results/<figure>.txt`` so the output survives pytest's
+capture.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments.runner import ExperimentContext
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    return ExperimentContext()
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(result):
+        table = result.format_table()
+        print()
+        print(table)
+        path = RESULTS_DIR / f"{result.figure_id}.txt"
+        path.write_text(table + "\n")
+        return table
+
+    return _save
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,20 @@
+"""Figure 3: inaccurate off-chip prefetch fills — L1D vs L2C.
+
+Paper shape: an off-chip prefetch fill into the L1D (IPCP) is markedly
+more likely to be inaccurate than one into the L2C (Pythia); this is the
+observation that breaks TLP's generality.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig03_offchip_fill_accuracy
+
+
+def test_fig03(benchmark, ctx, save_result):
+    result = run_once(benchmark, lambda: fig03_offchip_fill_accuracy(ctx))
+    save_result(result)
+
+    l1d = result.row("IPCP@L1D")
+    l2c = result.row("Pythia@L2C")
+    assert l1d["mean"] > l2c["mean"]
+    assert 0.0 < l2c["mean"] < 1.0

@@ -1,0 +1,26 @@
+"""Figure 10: CD3 (POPET + two L2C prefetchers: SMS + Pythia).
+
+Paper shape: with two uncoordinated prefetchers Naive's adverse-set
+damage grows; HPAC/MAB only partially recover; Athena (with its 8-action
+space) beats all of them overall.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig10_cd3
+
+TOL = 0.02
+
+
+def test_fig10(benchmark, ctx, save_result):
+    result = run_once(benchmark, lambda: fig10_cd3(ctx))
+    save_result(result)
+
+    overall = result.row("Overall")
+    adverse = result.row("Prefetcher-adverse")
+
+    for rival in ("Naive", "HPAC", "MAB"):
+        assert overall["Athena"] >= overall[rival] - TOL
+    assert overall["Athena"] > 1.0
+    # Adverse set: Athena above Naive by a clear margin.
+    assert adverse["Athena"] > adverse["Naive"]

@@ -1,0 +1,30 @@
+"""Figure 12(c): CD1 swept over the OCP request issue latency (6/18/30).
+
+Paper shape: POPET's standalone benefit shrinks as the issue latency
+grows (paper: -2.5% from 6 to 30 cycles), while Athena degrades far more
+gracefully (paper: -0.8%) and beats the prior policies at every latency.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig12c_ocp_latency_sweep
+
+TOL = 0.025
+
+
+def test_fig12c(benchmark, ctx, save_result):
+    result = run_once(benchmark, lambda: fig12c_ocp_latency_sweep(ctx))
+    save_result(result)
+
+    rows = dict(result.rows)
+    # POPET-only monotonically (weakly) loses value with extra latency.
+    assert rows["6cyc"]["POPET-only"] >= rows["30cyc"]["POPET-only"] - 1e-6
+    # Athena's drop across the sweep is modest.
+    athena_drop = rows["6cyc"]["Athena"] - rows["30cyc"]["Athena"]
+    assert athena_drop < 0.08
+    # Athena leads at every latency point.
+    wins = sum(
+        1 for _, row in result.rows
+        if row["Athena"] >= max(row["Naive"], row["HPAC"], row["MAB"]) - TOL
+    )
+    assert wins >= 2

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Bandwidth sensitivity: when does prefetching stop paying?
+
+Reproduces the intuition behind paper Figure 14 on a handful of
+workloads: sweep per-core DRAM bandwidth from the datacenter-like
+1.6 GB/s up to 12.8 GB/s and watch the Naive combination flip from
+harmful to dominant while Athena adapts at every point.
+
+Run:
+    python examples/bandwidth_sensitivity.py
+"""
+
+from repro.experiments.configs import CacheDesign
+from repro.experiments.runner import ExperimentContext, geomean
+from repro.workloads.suites import ReproScale, find_workload
+
+BANDWIDTHS = (1.6, 3.2, 6.4, 12.8)
+WORKLOADS = (
+    "spec06.libquantum_like.0",   # streaming: prefetcher-friendly
+    "spec06.mcf_like.0",          # pointer chase: prefetcher-adverse
+    "spec06.xalancbmk_like.0",    # hash probe: adverse, OCP-friendly
+    "ligra.PageRank.1",           # graph: mixed
+)
+
+
+def main() -> None:
+    ctx = ExperimentContext(
+        ReproScale("example", trace_length=16_000,
+                   workloads_per_figure=4, epoch_length=200)
+    )
+    specs = [find_workload(name) for name in WORKLOADS]
+
+    print(f"{'bandwidth':>10} {'Naive':>8} {'HPAC':>8} {'MAB':>8} "
+          f"{'Athena':>8}   (geomean speedup over no-PF/no-OCP)")
+    for bandwidth in BANDWIDTHS:
+        design = CacheDesign.cd4(bandwidth_gbps=bandwidth)
+        row = {
+            policy: geomean([
+                ctx.speedup(spec, design, policy_name)
+                for spec in specs
+            ])
+            for policy, policy_name in (
+                ("Naive", "none"), ("HPAC", "hpac"),
+                ("MAB", "mab"), ("Athena", "athena"),
+            )
+        }
+        print(
+            f"{bandwidth:>8.1f}GB {row['Naive']:>8.3f} {row['HPAC']:>8.3f} "
+            f"{row['MAB']:>8.3f} {row['Athena']:>8.3f}"
+        )
+
+    print()
+    print("Per-workload detail at 3.2 GB/s (the paper's default):")
+    design = CacheDesign.cd4()
+    for spec in specs:
+        naive = ctx.speedup(spec, design)
+        athena = ctx.speedup(spec, design, "athena")
+        print(f"  {spec.name:<28} naive={naive:.3f}  athena={athena:.3f}")
+
+
+if __name__ == "__main__":
+    main()

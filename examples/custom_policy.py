@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Writing your own coordination policy against the public API.
+
+The library's policy interface is deliberately small: implement
+``decide(telemetry) -> CoordinationAction`` and you can plug anything into
+the simulator — here, a simple "accuracy-gated" policy that enables each
+mechanism only while its measured accuracy clears a bar, as a contrast to
+Athena's learned policy.
+
+Run:
+    python examples/custom_policy.py
+"""
+
+from repro.experiments.configs import CacheDesign, build_hierarchy
+from repro.experiments.runner import make_policy
+from repro.policies.base import CoordinationAction, CoordinationPolicy
+from repro.sim.simulator import Simulator
+from repro.sim.stats import EpochTelemetry
+from repro.workloads.suites import build_trace, find_workload
+
+
+class AccuracyGatedPolicy(CoordinationPolicy):
+    """Enable the prefetcher/OCP only while they are measurably accurate.
+
+    A deliberately simple nonlearning policy: per epoch, compare measured
+    accuracies against fixed bars, with a periodic re-probe so a disabled
+    mechanism gets a chance to prove itself again.
+    """
+
+    PF_ACCURACY_BAR = 0.45
+    OCP_ACCURACY_BAR = 0.50
+    REPROBE_EVERY = 10
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._pf_on = True
+        self._ocp_on = True
+        self._epoch = 0
+
+    def decide(self, telemetry: EpochTelemetry) -> CoordinationAction:
+        self._epoch += 1
+        reprobe = self._epoch % self.REPROBE_EVERY == 0
+        if telemetry.prefetches_issued:
+            self._pf_on = telemetry.prefetcher_accuracy >= self.PF_ACCURACY_BAR
+        elif reprobe:
+            self._pf_on = True
+        if telemetry.ocp_predictions:
+            self._ocp_on = telemetry.ocp_accuracy >= self.OCP_ACCURACY_BAR
+        elif reprobe:
+            self._ocp_on = True
+        action = CoordinationAction(
+            prefetchers_enabled=(self._pf_on,) * self.num_prefetchers,
+            ocp_enabled=self.has_ocp and self._ocp_on,
+            degree_fraction=1.0,
+        )
+        self.record(action)
+        return action
+
+
+def run_policy(trace, design, policy, label):
+    hierarchy = build_hierarchy(design)
+    result = Simulator(trace, hierarchy, policy=policy,
+                       epoch_length=200).run()
+    print(f"  {label:<22} ipc={result.ipc:.4f}")
+    return result.ipc
+
+
+def main() -> None:
+    design = CacheDesign.cd1()
+    for workload in ("spec06.libquantum_like.0", "spec06.mcf_like.0",
+                     "ligra.BFS.0"):
+        trace = build_trace(find_workload(workload), 16_000)
+        print(f"{workload}:")
+        base = run_policy(trace, design.without_mechanisms(), None,
+                          "baseline")
+        for label, policy in (
+            ("naive", None),
+            ("accuracy-gated", AccuracyGatedPolicy()),
+            ("athena", make_policy("athena")),
+        ):
+            d = design if label != "baseline" else design.without_mechanisms()
+            ipc = run_policy(trace, d, policy, label)
+            print(f"    -> speedup {ipc / base:.3f}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Quickstart: run one workload under Athena and the baselines.
+
+This is the 60-second tour of the library: build a workload trace, build
+the paper's default CD1 system (POPET off-chip predictor + Pythia L2C
+prefetcher at 3.2 GB/s), and compare the coordination policies.
+
+Run:
+    python examples/quickstart.py [workload] [trace_length]
+"""
+
+import sys
+
+from repro.experiments.configs import CacheDesign, build_hierarchy
+from repro.experiments.runner import make_policy
+from repro.sim.simulator import Simulator
+from repro.workloads.suites import build_trace, find_workload
+
+
+def run(workload_name: str, length: int) -> None:
+    spec = find_workload(workload_name)
+    trace = build_trace(spec, length)
+    print(f"workload: {spec.name}  (suite={spec.suite}, "
+          f"pattern={spec.pattern}, {len(trace)} instructions)")
+    print(f"memory intensity: {trace.memory_intensity():.2f}, "
+          f"footprint: {trace.footprint_lines()} lines")
+    print()
+
+    design = CacheDesign.cd1()
+    configs = [
+        ("baseline (no PF, no OCP)", design.without_mechanisms(), "none"),
+        ("POPET only", design.only_ocp(), "none"),
+        ("Pythia only", design.only_prefetchers(), "none"),
+        ("Naive (both, uncoordinated)", design, "none"),
+        ("HPAC", design, "hpac"),
+        ("MAB", design, "mab"),
+        ("Athena", design, "athena"),
+    ]
+
+    baseline_ipc = None
+    print(f"{'configuration':<30} {'IPC':>8} {'speedup':>8} "
+          f"{'LLC MPKI':>9} {'PF acc':>7} {'OCP acc':>8}")
+    for label, variant, policy_name in configs:
+        hierarchy = build_hierarchy(variant)
+        result = Simulator(
+            trace,
+            hierarchy,
+            policy=make_policy(policy_name),
+            epoch_length=max(100, length // 80),
+        ).run()
+        if baseline_ipc is None:
+            baseline_ipc = result.ipc
+        stats = result.stats
+        print(
+            f"{label:<30} {result.ipc:>8.4f} "
+            f"{result.ipc / baseline_ipc:>8.3f} "
+            f"{stats.llc_mpki:>9.1f} "
+            f"{stats.prefetch_accuracy:>7.2f} "
+            f"{stats.ocp_accuracy:>8.2f}"
+        )
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "spec06.mcf_like.0"
+    length = int(sys.argv[2]) if len(sys.argv) > 2 else 16_000
+    run(workload, length)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+"""repro — a from-scratch Python reproduction of *Athena: Synergizing Data
+Prefetching and Off-Chip Prediction via Online Reinforcement Learning*
+(HPCA 2026).
+
+The package is organised as:
+
+* :mod:`repro.sim` — ChampSim-style trace-driven timing simulator
+  (analytical OoO core, three-level caches, banked bandwidth-limited DRAM).
+* :mod:`repro.prefetchers` — IPCP, Berti, Pythia, SPP+PPF, MLOP, SMS.
+* :mod:`repro.ocp` — POPET, HMP, TTP off-chip predictors.
+* :mod:`repro.core` — Athena itself: QVStore, Bloom-filter feature
+  trackers, composite reward, SARSA agent.
+* :mod:`repro.policies` — coordination policies: Athena, TLP, HPAC, MAB,
+  Naive, fixed-action (StaticBest oracle building block).
+* :mod:`repro.workloads` — deterministic synthetic trace suite standing in
+  for the paper's 100 SPEC/PARSEC/Ligra/CVP traces.
+* :mod:`repro.experiments` — cache designs CD1-CD4 and the per-figure
+  experiment harness.
+
+Quickstart::
+
+    from repro import quick_run
+    result = quick_run("ligra.BFS.0", policy="athena")
+    print(result.ipc)
+"""
+
+from __future__ import annotations
+
+from .core.agent import AthenaAgent
+from .core.config import AthenaConfig, PAPER_CONFIG
+from .policies.athena import AthenaPolicy
+from .policies.base import CoordinationAction, NaivePolicy
+from .policies.hpac import HpacPolicy
+from .policies.mab import MabPolicy
+from .policies.tlp import TlpPolicy
+from .sim.simulator import SimulationResult, Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AthenaAgent",
+    "AthenaConfig",
+    "AthenaPolicy",
+    "CoordinationAction",
+    "HpacPolicy",
+    "MabPolicy",
+    "NaivePolicy",
+    "PAPER_CONFIG",
+    "SimulationResult",
+    "Simulator",
+    "TlpPolicy",
+    "QuickRunResult",
+    "quick_run",
+]
+
+
+class QuickRunResult:
+    """Summary of a :func:`quick_run`: the policy run plus its baseline.
+
+    Attributes mirror what the paper reports per workload: ``ipc``,
+    ``baseline_ipc`` (no prefetching, no OCP), and their ratio
+    ``speedup``.  The full :class:`SimulationResult` is available as
+    ``result`` for epoch-level inspection.
+    """
+
+    def __init__(self, result: SimulationResult, baseline_ipc: float) -> None:
+        self.result = result
+        self.ipc = result.ipc
+        self.baseline_ipc = baseline_ipc
+        self.speedup = result.ipc / baseline_ipc if baseline_ipc else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"QuickRunResult({self.result.workload!r}, ipc={self.ipc:.4f}, "
+            f"speedup={self.speedup:.4f})"
+        )
+
+
+def quick_run(workload: str = "ligra.BFS.0", policy: str = "athena",
+              design: str = "cd1", length: int = 24_000) -> QuickRunResult:
+    """Run one workload under one policy and report IPC + speedup.
+
+    ``design`` selects the paper's cache design (``cd1`` ... ``cd4``);
+    the speedup baseline is the same design with every prefetcher and the
+    OCP removed, exactly as the paper normalises its figures.
+    """
+    from .experiments.configs import CacheDesign, build_hierarchy
+    from .experiments.runner import make_policy
+    from .workloads.suites import build_trace, find_workload
+
+    try:
+        design_factory = getattr(CacheDesign, design.lower())
+    except AttributeError:
+        raise ValueError(
+            f"unknown design {design!r}; expected cd1/cd2/cd3/cd4"
+        ) from None
+    cache_design = design_factory()
+    spec = find_workload(workload)
+    epoch_length = max(100, length // 40)
+    result = Simulator(
+        build_trace(spec, length),
+        build_hierarchy(cache_design),
+        policy=make_policy(policy),
+        epoch_length=epoch_length,
+    ).run()
+    baseline = Simulator(
+        build_trace(spec, length),
+        build_hierarchy(cache_design.without_mechanisms()),
+        epoch_length=epoch_length,
+    ).run()
+    return QuickRunResult(result, baseline.ipc)

@@ -1,0 +1,136 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``list``
+    Enumerate registered workloads, policies, prefetchers, OCPs, designs.
+``run``
+    Simulate one workload under one policy and print the result row.
+``figure``
+    Regenerate one paper figure (same drivers as the benchmarks).
+``classify``
+    Split the evaluation workloads into prefetcher-friendly/adverse.
+
+The CLI is a thin veneer over the library: everything it prints is
+available programmatically through :mod:`repro.experiments`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Athena (HPCA 2026) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads, policies, and designs")
+
+    run = sub.add_parser("run", help="simulate one workload")
+    run.add_argument("workload", help="registry name, e.g. ligra.BFS.0")
+    run.add_argument("--policy", default="athena",
+                     help="none/naive/hpac/mab/tlp/athena")
+    run.add_argument("--design", default="cd1", help="cd1/cd2/cd3/cd4")
+    run.add_argument("--length", type=int, default=24_000,
+                     help="trace length in instructions")
+
+    fig = sub.add_parser("figure", help="regenerate one paper figure")
+    fig.add_argument("figure_id", help="e.g. Fig7, Fig12a, Tab3")
+
+    sub.add_parser("classify",
+                   help="friendly/adverse split of the workload pool")
+    return parser
+
+
+def _cmd_list() -> int:
+    from .experiments.runner import POLICY_FACTORIES
+    from .ocp import OCPS
+    from .prefetchers import PREFETCHERS
+    from .workloads.suites import evaluation_workloads, google_workloads
+
+    print("policies:   ", ", ".join(sorted(POLICY_FACTORIES)))
+    print("prefetchers:", ", ".join(sorted(PREFETCHERS)))
+    print("ocps:       ", ", ".join(sorted(OCPS)))
+    print("designs:    cd1 cd2 cd3 cd4")
+    print()
+    print(f"evaluation workloads ({len(evaluation_workloads())}):")
+    for spec in evaluation_workloads():
+        print(f"  {spec.name:32s} {spec.suite:8s} {spec.pattern}")
+    print(f"unseen/google workloads ({len(tuple(google_workloads()))}):")
+    for spec in google_workloads():
+        print(f"  {spec.name:32s} {spec.suite:8s} {spec.pattern}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from . import quick_run
+
+    result = quick_run(args.workload, policy=args.policy,
+                       design=args.design, length=args.length)
+    stats = result.result.stats
+    print(f"workload:  {args.workload}")
+    print(f"policy:    {args.policy} on {args.design.upper()}")
+    print(f"ipc:       {result.ipc:.4f}")
+    print(f"baseline:  {result.baseline_ipc:.4f}")
+    print(f"speedup:   {result.speedup:.4f}")
+    print(f"llc mpki:  {1000 * stats.llc_misses / max(1, stats.instructions):.2f}")
+    print(f"prefetches:{stats.prefetches_issued}"
+          f" (useful {stats.prefetches_useful})")
+    print(f"ocp:       {stats.ocp_predictions} predictions,"
+          f" {stats.ocp_correct} correct")
+    return 0
+
+
+def _cmd_figure(figure_id: str) -> int:
+    from .experiments.figures import FIGURES
+
+    try:
+        driver = FIGURES[figure_id]
+    except KeyError:
+        known = ", ".join(sorted(FIGURES))
+        print(f"unknown figure {figure_id!r}; known: {known}",
+              file=sys.stderr)
+        return 2
+    result = driver()
+    print(result.format_table())
+    return 0
+
+
+def _cmd_classify() -> int:
+    from .experiments.configs import CacheDesign
+    from .experiments.runner import ExperimentContext
+
+    ctx = ExperimentContext()
+    friendly, adverse = ctx.classify_workloads(
+        CacheDesign.cd1(), ctx.workload_pool()
+    )
+    print(f"prefetcher-friendly ({len(friendly)}):")
+    for spec in friendly:
+        print(f"  {spec.name}")
+    print(f"prefetcher-adverse ({len(adverse)}):")
+    for spec in adverse:
+        print(f"  {spec.name}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "figure":
+        return _cmd_figure(args.figure_id)
+    if args.command == "classify":
+        return _cmd_classify()
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

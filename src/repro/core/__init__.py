@@ -1,0 +1,22 @@
+"""Athena's RL core: QVStore, feature measurement, reward, SARSA agent."""
+
+from .agent import AgentDecision, AthenaAgent
+from .bloom import BloomFilter
+from .config import AthenaConfig, PAPER_CONFIG, RewardWeights
+from .features import FeatureTracker, StateQuantizer
+from .qvstore import QVStore
+from .reward import CompositeReward, IpcOnlyReward
+
+__all__ = [
+    "AgentDecision",
+    "AthenaAgent",
+    "AthenaConfig",
+    "BloomFilter",
+    "CompositeReward",
+    "FeatureTracker",
+    "IpcOnlyReward",
+    "PAPER_CONFIG",
+    "QVStore",
+    "RewardWeights",
+    "StateQuantizer",
+]

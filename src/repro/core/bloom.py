@@ -1,0 +1,92 @@
+"""Bloom filter used by Athena's state-measurement hardware (paper §5.2).
+
+Athena uses two 4096-bit Bloom filters with two hash functions each: one to
+track prefetcher accuracy (§5.2.1) and one to track prefetch-induced cache
+pollution at the LLC (§5.2.3).  Both are reset at the end of every epoch.
+
+The implementation is a plain bit-vector Bloom filter with ``k``
+multiplicative hashes, sized exactly as the paper's hardware (Table 4).
+"""
+
+from __future__ import annotations
+
+# Large odd multipliers (derived from the golden ratio and friends) used to
+# decorrelate the k hash functions; any fixed odd constants work.
+_HASH_MULTIPLIERS = (
+    0x9E3779B97F4A7C15,
+    0xC2B2AE3D27D4EB4F,
+    0x165667B19E3779F9,
+    0x27D4EB2F165667C5,
+    0x85EBCA77C2B2AE63,
+    0xFF51AFD7ED558CCD,
+)
+
+_MASK64 = (1 << 64) - 1
+
+
+def _mix(value: int, multiplier: int) -> int:
+    """64-bit multiplicative hash with avalanche finalisation."""
+    h = (value * multiplier) & _MASK64
+    h ^= h >> 33
+    h = (h * 0xFF51AFD7ED558CCD) & _MASK64
+    h ^= h >> 29
+    return h
+
+
+class BloomFilter:
+    """Fixed-size Bloom filter with ``num_hashes`` independent hashes."""
+
+    def __init__(self, num_bits: int = 4096, num_hashes: int = 2) -> None:
+        if num_bits <= 0:
+            raise ValueError("num_bits must be positive")
+        if not 1 <= num_hashes <= len(_HASH_MULTIPLIERS):
+            raise ValueError(
+                f"num_hashes must be in [1, {len(_HASH_MULTIPLIERS)}]"
+            )
+        self.num_bits = num_bits
+        self.num_hashes = num_hashes
+        self._bits = 0
+        self._count = 0
+
+    def _indices(self, key: int):
+        for m in _HASH_MULTIPLIERS[: self.num_hashes]:
+            yield _mix(key, m) % self.num_bits
+
+    def insert(self, key: int) -> None:
+        for idx in self._indices(key):
+            self._bits |= 1 << idx
+        self._count += 1
+
+    def query(self, key: int) -> bool:
+        """True if ``key`` may have been inserted (no false negatives)."""
+        for idx in self._indices(key):
+            if not (self._bits >> idx) & 1:
+                return False
+        return True
+
+    def __contains__(self, key: int) -> bool:
+        return self.query(key)
+
+    def reset(self) -> None:
+        """Clear all bits; called at the end of every Athena epoch."""
+        self._bits = 0
+        self._count = 0
+
+    @property
+    def approximate_count(self) -> int:
+        """Number of insert() calls since the last reset."""
+        return self._count
+
+    def saturation(self) -> float:
+        """Fraction of bits currently set (diagnostic for sizing)."""
+        return bin(self._bits).count("1") / self.num_bits
+
+    def false_positive_rate(self) -> float:
+        """Theoretical FPR for the current insert count."""
+        if self._count == 0:
+            return 0.0
+        k, m, n = self.num_hashes, self.num_bits, self._count
+        return (1.0 - (1.0 - 1.0 / m) ** (k * n)) ** k
+
+    def storage_bits(self) -> int:
+        return self.num_bits

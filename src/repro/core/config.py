@@ -1,0 +1,113 @@
+"""Athena configuration (paper Table 3 + §5 design parameters).
+
+The default values reproduce the configuration found by the paper's
+automated design-space exploration: four selected state features, the
+reward weights, and the SARSA hyperparameters.  The paper's epoch length
+is 2000 instructions over 500M-instruction traces; experiments on the
+short synthetic traces scale it down via ``epoch_length`` so the agent
+sees a comparable number of decisions per program phase.
+
+A few reproduction-specific knobs deviate deliberately (all documented in
+DESIGN.md):
+
+* ``explore_rounds`` forces a short round-robin warm-start over the action
+  space.  The paper's ~250K-epoch runs can afford incidental exploration;
+  at reproduction scale (tens of epochs per run) every action's transition
+  reward must be sampled deterministically before the policy turns greedy.
+* ``epsilon`` defaults to a small positive value rather than the paper's
+  DSE-selected 0.0: one random epoch spent in a pathological action is
+  amortised over 250K epochs in the paper but over ~60 here, so residual
+  exploration must be rare.
+* ``q_init`` is neutral (0.0) because the forced warm-start replaces the
+  optimistic-initialisation exploration the paper relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
+
+from ..sim.stats import SELECTED_FEATURES
+
+
+@dataclass(frozen=True)
+class RewardWeights:
+    """Weights of the composite reward constituents (Table 2 / Table 3)."""
+
+    cycles: float = 1.6
+    llc_misses: float = 0.0
+    llc_miss_latency: float = 0.0
+    loads: float = 0.6
+    mispredicted_branches: float = 1.0
+
+    def correlated(self) -> Dict[str, float]:
+        return {
+            "cycles": self.cycles,
+            "llc_misses": self.llc_misses,
+            "llc_miss_latency": self.llc_miss_latency,
+        }
+
+    def uncorrelated(self) -> Dict[str, float]:
+        return {
+            "loads": self.loads,
+            "mispredicted_branches": self.mispredicted_branches,
+        }
+
+
+@dataclass(frozen=True)
+class AthenaConfig:
+    """Full Athena agent configuration."""
+
+    # -- RL hyperparameters (paper Table 3, re-tuned by this repo's DSE
+    # harness for the scaled traces; the paper's exact values live in
+    # ``PAPER_CONFIG``) ------------------------------------------------------
+    alpha: float = 0.6
+    gamma: float = 0.6
+    epsilon: float = 0.01
+    tau: float = 0.12
+    epoch_length: int = 2000
+
+    # -- state representation (Table 3 selected features) -------------------
+    features: Tuple[str, ...] = SELECTED_FEATURES
+    feature_bins: int = 4
+
+    # -- reward (Table 2 / Table 3) -----------------------------------------
+    reward_weights: RewardWeights = field(default_factory=RewardWeights)
+    use_uncorrelated_reward: bool = True
+
+    # -- QVStore geometry (Table 4) ------------------------------------------
+    num_planes: int = 8
+    rows_per_plane: int = 64
+    q_value_bits: int = 8
+    q_init: float = 0.0
+    q_clip: float = 4.0
+
+    # -- reproduction-scale knobs ---------------------------------------------
+    seed: int = 0x47EA
+    stateless: bool = False
+    #: forced round-robin passes over the action space before the policy
+    #: turns greedy.  The paper's ~250K-epoch runs explore incidentally via
+    #: optimistic initialisation; at reproduction scale (tens of epochs)
+    #: the agent must sample every action's transition reward a few times
+    #: for the SARSA values to rank actions at all.
+    explore_rounds: int = 2
+    #: greedy-switch hysteresis: the incumbent action is kept unless a
+    #: rival's Q-value exceeds it by this margin.  Suppresses dithering
+    #: between near-tied actions, whose switching cost is negligible over
+    #: the paper's 250K epochs but visible over tens of epochs.
+    switch_margin: float = 0.1
+
+    def with_updates(self, **kwargs) -> "AthenaConfig":
+        return replace(self, **kwargs)
+
+    def scaled_for_trace(self, trace_length: int) -> "AthenaConfig":
+        """Scale the epoch length to the trace so the agent gets a
+        decision count comparable to the paper's (2K instructions out of
+        500M => ~250K epochs; here: ~1/80 of the trace, min 100)."""
+        epoch = max(100, trace_length // 80)
+        return self.with_updates(epoch_length=epoch)
+
+
+#: The paper's exact Table 3 configuration (alpha = gamma = 0.6,
+#: epsilon = 0, tau = 0.12), DSE-selected on 500M-instruction traces.
+PAPER_CONFIG = AthenaConfig(alpha=0.6, gamma=0.6, epsilon=0.0)

@@ -1,0 +1,170 @@
+"""QVStore — Athena's partitioned, multi-hash Q-value storage (paper §5.1).
+
+The QVStore holds Q-values for every observed state-action pair without
+materialising the full combinatorial state space.  It is organised as
+``k`` independent *planes*; each plane is a small table (rows x actions)
+indexed by a distinct hash of the state vector.  The Q-value of a pair is
+the **sum of the partial Q-values** across planes; SARSA updates are
+applied independently to each plane (each plane absorbs ``delta / k``).
+
+This is the tile-coding/hashed-ensemble trick: similar states collide in
+some planes (sharing value, generalising), while dissimilar states are
+de-aliased by the independent hashes.
+
+The default geometry matches Table 4: 8 planes x 64 rows x 4 actions with
+8-bit entries (2 KB).  Entries here are floats clipped to ``[-clip, clip]``;
+:meth:`storage_bits` audits the hardware budget at the configured
+``q_value_bits`` precision.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+_MASK64 = (1 << 64) - 1
+
+_PLANE_MULTIPLIERS = (
+    0x9E3779B97F4A7C15,
+    0xC2B2AE3D27D4EB4F,
+    0x165667B19E3779F9,
+    0x27D4EB2F165667C5,
+    0x85EBCA77C2B2AE63,
+    0xFF51AFD7ED558CCD,
+    0xD6E8FEB86659FD93,
+    0xA3AAAC68DCE9A41B,
+    0xCB9E59DCAAD4F2E7,
+    0xE7037ED1A0B428DB,
+    0x8EBC6AF09C88C6E3,
+    0x589965CC75374CC3,
+)
+
+
+def _plane_hash(state: int, multiplier: int, rows: int) -> int:
+    h = (state * multiplier) & _MASK64
+    h ^= h >> 33
+    h = (h * 0xFF51AFD7ED558CCD) & _MASK64
+    h ^= h >> 29
+    return h % rows
+
+
+class QVStore:
+    """Partitioned Q-value storage with ``num_planes`` hashed planes."""
+
+    def __init__(
+        self,
+        num_actions: int,
+        num_planes: int = 8,
+        rows_per_plane: int = 64,
+        q_init: float = 0.0,
+        q_clip: float = 4.0,
+        q_value_bits: int = 8,
+    ) -> None:
+        if num_actions <= 0:
+            raise ValueError("num_actions must be positive")
+        if not 1 <= num_planes <= len(_PLANE_MULTIPLIERS):
+            raise ValueError(
+                f"num_planes must be in [1, {len(_PLANE_MULTIPLIERS)}]"
+            )
+        if rows_per_plane <= 0:
+            raise ValueError("rows_per_plane must be positive")
+        self.num_actions = num_actions
+        self.num_planes = num_planes
+        self.rows_per_plane = rows_per_plane
+        self.q_clip = q_clip
+        self.q_value_bits = q_value_bits
+        init_share = q_init / num_planes
+        self._planes: List[List[List[float]]] = [
+            [[init_share] * num_actions for _ in range(rows_per_plane)]
+            for _ in range(num_planes)
+        ]
+        self._multipliers = _PLANE_MULTIPLIERS[:num_planes]
+
+    # -- retrieval (paper Figure 6, three stages) ---------------------------
+
+    def _per_plane_states(self, state) -> List[int]:
+        """Accept either one state vector or one pre-tiled state per plane."""
+        if isinstance(state, int):
+            return [state] * self.num_planes
+        states = list(state)
+        if len(states) != self.num_planes:
+            raise ValueError(
+                f"expected {self.num_planes} per-plane states, got {len(states)}"
+            )
+        return states
+
+    def rows_for_state(self, state) -> List[int]:
+        """Stage 2: the k per-plane row indices for a state vector."""
+        return [
+            _plane_hash(s, m, self.rows_per_plane)
+            for s, m in zip(self._per_plane_states(state), self._multipliers)
+        ]
+
+    def q_value(self, state, action: int) -> float:
+        """Stage 3: sum of partial Q-values across all planes."""
+        self._check_action(action)
+        total = 0.0
+        for plane, s, m in zip(
+            self._planes, self._per_plane_states(state), self._multipliers
+        ):
+            total += plane[_plane_hash(s, m, self.rows_per_plane)][action]
+        return total
+
+    def q_values(self, state) -> List[float]:
+        """All actions' Q-values for one state (single pass over planes)."""
+        totals = [0.0] * self.num_actions
+        for plane, s, m in zip(
+            self._planes, self._per_plane_states(state), self._multipliers
+        ):
+            row = plane[_plane_hash(s, m, self.rows_per_plane)]
+            for a in range(self.num_actions):
+                totals[a] += row[a]
+        return totals
+
+    def best_action(self, state) -> int:
+        q = self.q_values(state)
+        best = 0
+        for a in range(1, self.num_actions):
+            if q[a] > q[best]:
+                best = a
+        return best
+
+    # -- update ---------------------------------------------------------------
+
+    def update(self, state, action: int, delta: float) -> None:
+        """Distribute a SARSA delta equally across the planes.
+
+        Each plane absorbs ``delta / k``, so the summed Q-value moves by
+        exactly ``delta`` (up to clipping at the plane level, which models
+        the fixed-point saturation of 8-bit hardware entries).
+        """
+        self._check_action(action)
+        share = delta / self.num_planes
+        clip = self.q_clip / self.num_planes
+        for plane, s, m in zip(
+            self._planes, self._per_plane_states(state), self._multipliers
+        ):
+            row = plane[_plane_hash(s, m, self.rows_per_plane)]
+            row[action] = max(-clip, min(clip, row[action] + share))
+
+    def _check_action(self, action: int) -> None:
+        if not 0 <= action < self.num_actions:
+            raise IndexError(
+                f"action {action} out of range [0, {self.num_actions})"
+            )
+
+    # -- accounting --------------------------------------------------------------
+
+    def storage_bits(self) -> int:
+        return (
+            self.num_planes
+            * self.rows_per_plane
+            * self.num_actions
+            * self.q_value_bits
+        )
+
+    def storage_kib(self) -> float:
+        return self.storage_bits() / 8192.0
+
+    def plane_snapshot(self, plane_index: int) -> Sequence[Sequence[float]]:
+        """Read-only view of one plane (diagnostics and tests)."""
+        return tuple(tuple(row) for row in self._planes[plane_index])

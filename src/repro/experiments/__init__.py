@@ -1,0 +1,19 @@
+"""Experiment harness: cache designs, runner, figure drivers, DSE."""
+
+from .configs import CacheDesign, build_hierarchy, system_for
+from .dse import DseResult, run_dse
+from .figures import FIGURES, FigureResult
+from .runner import ExperimentContext, geomean, make_policy
+
+__all__ = [
+    "CacheDesign",
+    "DseResult",
+    "ExperimentContext",
+    "FIGURES",
+    "FigureResult",
+    "build_hierarchy",
+    "geomean",
+    "make_policy",
+    "run_dse",
+    "system_for",
+]

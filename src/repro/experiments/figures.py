@@ -1,0 +1,790 @@
+"""Per-figure experiment drivers.
+
+One function per table/figure of the paper's evaluation.  Every function
+returns a :class:`FigureResult` whose rows are the series the paper plots,
+so the benchmark harness can print exactly the numbers the corresponding
+figure reports.  See DESIGN.md for the experiment index.
+
+Scaling: the drivers run at the :class:`~repro.workloads.suites.ReproScale`
+of their :class:`~repro.experiments.runner.ExperimentContext` — absolute
+speedups differ from the paper (different substrate, 4 orders of magnitude
+shorter traces), the *shape* is what each figure reproduces.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.config import AthenaConfig
+from ..policies.athena import AthenaPolicy
+from ..policies.base import NaivePolicy
+from ..policies.hpac import HpacPolicy
+from ..policies.mab import MabPolicy
+from ..sim.multicore import MultiCoreSimulator
+from ..sim.simulator import Simulator
+from ..workloads.mixes import MIX_CATEGORIES, build_mixes
+from ..workloads.suites import (
+    WorkloadSpec,
+    build_trace,
+    google_workloads,
+    tuning_workloads,
+)
+from .configs import CacheDesign, build_hierarchy, system_for
+from .runner import ExperimentContext, geomean, make_policy
+
+
+@dataclass
+class FigureResult:
+    """Rows of one regenerated table/figure."""
+
+    figure_id: str
+    title: str
+    rows: List[Tuple[str, Dict[str, float]]] = field(default_factory=list)
+    notes: str = ""
+
+    def add(self, label: str, **series: float) -> None:
+        self.rows.append((label, dict(series)))
+
+    def series(self, name: str) -> List[float]:
+        return [values[name] for _, values in self.rows if name in values]
+
+    def row(self, label: str) -> Dict[str, float]:
+        for row_label, values in self.rows:
+            if row_label == label:
+                return values
+        raise KeyError(f"{self.figure_id}: no row {label!r}")
+
+    def format_table(self) -> str:
+        columns: List[str] = []
+        for _, values in self.rows:
+            for key in values:
+                if key not in columns:
+                    columns.append(key)
+        width = max([len(label) for label, _ in self.rows] + [8])
+        header = f"{self.figure_id}: {self.title}"
+        lines = [header, "-" * len(header)]
+        lines.append(
+            " ".join([" " * width] + [f"{c:>12}" for c in columns])
+        )
+        for label, values in self.rows:
+            cells = [
+                f"{values[c]:>12.4f}" if c in values else " " * 12
+                for c in columns
+            ]
+            lines.append(" ".join([label.ljust(width)] + cells))
+        if self.notes:
+            lines.append(f"note: {self.notes}")
+        return "\n".join(lines)
+
+
+def _categories(ctx: ExperimentContext, design: CacheDesign,
+                workloads: Sequence[WorkloadSpec]):
+    friendly, adverse = ctx.classify_workloads(design, workloads)
+    groups = [("Overall", list(workloads))]
+    if adverse:
+        groups.insert(0, ("Prefetcher-adverse", adverse))
+    if friendly:
+        groups.insert(1, ("Prefetcher-friendly", friendly))
+    return groups
+
+
+def _suite_groups(workloads: Sequence[WorkloadSpec]):
+    groups: Dict[str, List[WorkloadSpec]] = {}
+    for spec in workloads:
+        groups.setdefault(spec.suite, []).append(spec)
+    return sorted(groups.items())
+
+
+def _speedup_figure(
+    ctx: ExperimentContext,
+    figure_id: str,
+    title: str,
+    design: CacheDesign,
+    series: Dict[str, Tuple[CacheDesign, str]],
+    include_suites: bool = True,
+    include_static_best: bool = False,
+) -> FigureResult:
+    """Shared driver for the CD1-CD4 bar figures (7, 9, 10, 11, 19)."""
+    result = FigureResult(figure_id, title)
+    workloads = ctx.workload_pool()
+    groups = []
+    if include_suites:
+        groups.extend(_suite_groups(workloads))
+    groups.extend(_categories(ctx, design, workloads))
+    for label, group in groups:
+        row: Dict[str, float] = {}
+        for name, (variant, policy) in series.items():
+            row[name] = geomean(
+                [ctx.speedup(spec, variant, policy) for spec in group]
+            )
+        if include_static_best:
+            row["StaticBest"] = geomean(
+                [ctx.static_best_speedup(spec, design) for spec in group]
+            )
+        result.add(label, **row)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Motivation figures (Section 2)
+# ---------------------------------------------------------------------------
+
+def fig01_motivation_lines(ctx: Optional[ExperimentContext] = None) -> FigureResult:
+    """Figure 1: POPET vs Pythia per-workload speedups, sorted by Pythia."""
+    ctx = ctx or ExperimentContext()
+    design = CacheDesign.cd1()
+    workloads = ctx.workload_pool()
+    points = []
+    for spec in workloads:
+        points.append(
+            (
+                spec.name,
+                ctx.speedup(spec, design.only_ocp()),
+                ctx.speedup(spec, design.only_prefetchers()),
+            )
+        )
+    points.sort(key=lambda p: p[2])
+    result = FigureResult(
+        "Fig1", "POPET vs Pythia speedup line graph (sorted by Pythia)"
+    )
+    for name, popet, pythia in points:
+        result.add(name, POPET=popet, Pythia=pythia)
+    adverse = sum(1 for p in points if p[2] < 1.0)
+    result.notes = (
+        f"{adverse}/{len(points)} workloads are prefetcher-adverse "
+        "(paper: 40/100)"
+    )
+    return result
+
+
+def fig02_naive_vs_staticbest(ctx: Optional[ExperimentContext] = None) -> FigureResult:
+    """Figure 2: POPET/Pythia/Naive/StaticBest geomeans by category."""
+    ctx = ctx or ExperimentContext()
+    design = CacheDesign.cd1()
+    return _speedup_figure(
+        ctx,
+        "Fig2",
+        "Naive combining fails to realise the joint potential",
+        design,
+        series={
+            "POPET": (design.only_ocp(), "none"),
+            "Pythia": (design.only_prefetchers(), "none"),
+            "Naive": (design, "none"),
+        },
+        include_suites=False,
+        include_static_best=True,
+    )
+
+
+def fig03_offchip_fill_accuracy(ctx: Optional[ExperimentContext] = None) -> FigureResult:
+    """Figure 3: inaccurate off-chip prefetch fills, L1D vs L2C."""
+    ctx = ctx or ExperimentContext()
+    workloads = ctx.workload_pool()
+    result = FigureResult(
+        "Fig3", "Fraction of off-chip prefetch fills that are inaccurate"
+    )
+    for label, design, level in (
+        ("IPCP@L1D", CacheDesign.cd2().only_prefetchers(), "l1d"),
+        ("Pythia@L2C", CacheDesign.cd1().only_prefetchers(), "l2c"),
+    ):
+        fractions = []
+        for spec in workloads:
+            stats = ctx.run(spec, design).result.stats
+            fills = (stats.prefetch_fills_offchip_l1d if level == "l1d"
+                     else stats.prefetch_fills_offchip_l2c)
+            if fills >= 10:
+                fractions.append(stats.offchip_fill_inaccuracy_at(level))
+        fractions.sort()
+        if not fractions:
+            continue
+        quartiles = statistics.quantiles(fractions, n=4)
+        result.add(
+            label,
+            mean=statistics.fmean(fractions),
+            q1=quartiles[0],
+            median=quartiles[1],
+            q3=quartiles[2],
+        )
+    result.notes = "paper: 50.6% mean at L1D vs 28.1% at L2C"
+    return result
+
+
+def fig04_prior_policies(ctx: Optional[ExperimentContext] = None) -> FigureResult:
+    """Figure 4: Naive/HPAC/MAB vs StaticBest in CD1."""
+    ctx = ctx or ExperimentContext()
+    design = CacheDesign.cd1()
+    return _speedup_figure(
+        ctx,
+        "Fig4",
+        "Prior coordination policies leave performance behind",
+        design,
+        series={
+            "Naive": (design, "none"),
+            "HPAC": (design, "hpac"),
+            "MAB": (design, "mab"),
+        },
+        include_suites=False,
+        include_static_best=True,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Main evaluation: CD1-CD4 (Figures 7-11)
+# ---------------------------------------------------------------------------
+
+def fig07_cd1(ctx: Optional[ExperimentContext] = None) -> FigureResult:
+    """Figure 7: CD1 (POPET + Pythia@L2C) across all policies."""
+    ctx = ctx or ExperimentContext()
+    design = CacheDesign.cd1()
+    return _speedup_figure(
+        ctx, "Fig7", "Speedup in cache design 1 (CD1)", design,
+        series={
+            "POPET": (design.only_ocp(), "none"),
+            "Pythia": (design.only_prefetchers(), "none"),
+            "Naive": (design, "none"),
+            "HPAC": (design, "hpac"),
+            "MAB": (design, "mab"),
+            "Athena": (design, "athena"),
+        },
+    )
+
+
+def fig08a_category_boxes(ctx: Optional[ExperimentContext] = None) -> FigureResult:
+    """Figure 8(a): per-category speedup distributions in CD1."""
+    ctx = ctx or ExperimentContext()
+    design = CacheDesign.cd1()
+    workloads = ctx.workload_pool()
+    result = FigureResult(
+        "Fig8a", "Workload-category speedup distribution in CD1"
+    )
+    configs = {
+        "Naive": (design, "none"),
+        "HPAC": (design, "hpac"),
+        "MAB": (design, "mab"),
+        "Athena": (design, "athena"),
+    }
+    for category, group in _categories(ctx, design, workloads):
+        for name, (variant, policy) in configs.items():
+            speedups = sorted(
+                ctx.speedup(spec, variant, policy) for spec in group
+            )
+            if len(speedups) >= 4:
+                quartiles = statistics.quantiles(speedups, n=4)
+                q1, median, q3 = quartiles
+            else:
+                q1 = median = q3 = statistics.median(speedups)
+            result.add(
+                f"{category}/{name}",
+                minimum=speedups[0],
+                q1=q1,
+                mean=statistics.fmean(speedups),
+                q3=q3,
+                maximum=speedups[-1],
+            )
+    return result
+
+
+def fig08b_athena_vs_staticbest(ctx: Optional[ExperimentContext] = None) -> FigureResult:
+    """Figure 8(b): Athena approaches the StaticBest oracle in CD1."""
+    ctx = ctx or ExperimentContext()
+    design = CacheDesign.cd1()
+    return _speedup_figure(
+        ctx,
+        "Fig8b",
+        "Athena vs StaticBest in CD1",
+        design,
+        series={
+            "Naive": (design, "none"),
+            "HPAC": (design, "hpac"),
+            "MAB": (design, "mab"),
+            "Athena": (design, "athena"),
+        },
+        include_suites=False,
+        include_static_best=True,
+    )
+
+
+def fig09_cd2(ctx: Optional[ExperimentContext] = None) -> FigureResult:
+    """Figure 9: CD2 (POPET + IPCP@L1D), the design TLP was built for."""
+    ctx = ctx or ExperimentContext()
+    design = CacheDesign.cd2()
+    return _speedup_figure(
+        ctx, "Fig9", "Speedup in cache design 2 (CD2)", design,
+        series={
+            "POPET": (design.only_ocp(), "none"),
+            "IPCP": (design.only_prefetchers(), "none"),
+            "Naive": (design, "none"),
+            "TLP": (design, "tlp"),
+            "HPAC": (design, "hpac"),
+            "MAB": (design, "mab"),
+            "Athena": (design, "athena"),
+        },
+    )
+
+
+def fig10_cd3(ctx: Optional[ExperimentContext] = None) -> FigureResult:
+    """Figure 10: CD3 (POPET + SMS + Pythia at L2C)."""
+    ctx = ctx or ExperimentContext()
+    design = CacheDesign.cd3()
+    return _speedup_figure(
+        ctx, "Fig10", "Speedup in cache design 3 (CD3)", design,
+        series={
+            "POPET": (design.only_ocp(), "none"),
+            "SMS+Pythia": (design.only_prefetchers(), "none"),
+            "Naive": (design, "none"),
+            "HPAC": (design, "hpac"),
+            "MAB": (design, "mab"),
+            "Athena": (design, "athena"),
+        },
+    )
+
+
+def fig11_cd4(ctx: Optional[ExperimentContext] = None) -> FigureResult:
+    """Figure 11: CD4 (POPET + IPCP@L1D + Pythia@L2C)."""
+    ctx = ctx or ExperimentContext()
+    design = CacheDesign.cd4()
+    return _speedup_figure(
+        ctx, "Fig11", "Speedup in cache design 4 (CD4)", design,
+        series={
+            "POPET": (design.only_ocp(), "none"),
+            "IPCP+Pythia": (design.only_prefetchers(), "none"),
+            "Naive": (design, "none"),
+            "TLP": (design, "tlp"),
+            "HPAC": (design, "hpac"),
+            "MAB": (design, "mab"),
+            "Athena": (design, "athena"),
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Sensitivity studies (Figures 12-14)
+# ---------------------------------------------------------------------------
+
+_CD1_POLICIES = ("Naive", "HPAC", "MAB", "Athena")
+
+
+def _policy_row(ctx: ExperimentContext, design: CacheDesign,
+                workloads) -> Dict[str, float]:
+    mapping = {"Naive": "none", "HPAC": "hpac", "MAB": "mab",
+               "Athena": "athena"}
+    return {
+        label: ctx.geomean_speedup(workloads, design, mapping[label])
+        for label in _CD1_POLICIES
+    }
+
+
+def fig12a_l2c_prefetcher_sweep(ctx: Optional[ExperimentContext] = None) -> FigureResult:
+    """Figure 12(a): CD1 with Pythia / SPP+PPF / MLOP / SMS at L2C."""
+    ctx = ctx or ExperimentContext()
+    workloads = ctx.workload_pool()
+    result = FigureResult(
+        "Fig12a", "Sensitivity to the L2C prefetcher type (CD1)"
+    )
+    for prefetcher in ("pythia", "spp_ppf", "mlop", "sms"):
+        design = CacheDesign.cd1(l2c=prefetcher)
+        result.add(prefetcher, **_policy_row(ctx, design, workloads))
+    return result
+
+
+def fig12b_ocp_sweep(ctx: Optional[ExperimentContext] = None) -> FigureResult:
+    """Figure 12(b): CD1 with POPET / HMP / TTP as the OCP."""
+    ctx = ctx or ExperimentContext()
+    workloads = ctx.workload_pool()
+    result = FigureResult("Fig12b", "Sensitivity to the OCP type (CD1)")
+    for ocp in ("popet", "hmp", "ttp"):
+        design = CacheDesign.cd1(ocp=ocp)
+        row = _policy_row(ctx, design, workloads)
+        row["OCP-only"] = ctx.geomean_speedup(
+            workloads, design.only_ocp(), "none"
+        )
+        result.add(ocp, **row)
+    return result
+
+
+def fig12c_ocp_latency_sweep(ctx: Optional[ExperimentContext] = None) -> FigureResult:
+    """Figure 12(c): CD1 swept over the OCP request issue latency."""
+    ctx = ctx or ExperimentContext()
+    workloads = ctx.workload_pool()
+    result = FigureResult(
+        "Fig12c", "Sensitivity to OCP request issue latency (CD1)"
+    )
+    for latency in (6, 18, 30):
+        design = CacheDesign.cd1().with_ocp_issue_latency(latency)
+        row = _policy_row(ctx, design, workloads)
+        row["POPET-only"] = ctx.geomean_speedup(
+            workloads, design.only_ocp(), "none"
+        )
+        result.add(f"{latency}cyc", **row)
+    return result
+
+
+def fig13_l1d_prefetcher_sweep(ctx: Optional[ExperimentContext] = None) -> FigureResult:
+    """Figure 13: CD4 with IPCP vs Berti at L1D."""
+    ctx = ctx or ExperimentContext()
+    workloads = ctx.workload_pool()
+    result = FigureResult(
+        "Fig13", "Sensitivity to the L1D prefetcher type (CD4)"
+    )
+    for l1d in ("ipcp", "berti"):
+        design = CacheDesign.cd4(l1d=l1d)
+        row = _policy_row(ctx, design, workloads)
+        row["TLP"] = ctx.geomean_speedup(workloads, design, "tlp")
+        row["Prefetchers"] = ctx.geomean_speedup(
+            workloads, design.only_prefetchers(), "none"
+        )
+        result.add(l1d, **row)
+    return result
+
+
+def fig14_bandwidth_sweep(ctx: Optional[ExperimentContext] = None) -> FigureResult:
+    """Figure 14: CD4 swept over main-memory bandwidth."""
+    ctx = ctx or ExperimentContext()
+    workloads = ctx.workload_pool()
+    result = FigureResult(
+        "Fig14", "Sensitivity to main memory bandwidth (CD4)"
+    )
+    for bandwidth in (1.6, 3.2, 6.4, 12.8):
+        design = CacheDesign.cd4(bandwidth_gbps=bandwidth)
+        row = _policy_row(ctx, design, workloads)
+        row["TLP"] = ctx.geomean_speedup(workloads, design, "tlp")
+        row["POPET-only"] = ctx.geomean_speedup(
+            workloads, design.only_ocp(), "none"
+        )
+        row["Prefetchers"] = ctx.geomean_speedup(
+            workloads, design.only_prefetchers(), "none"
+        )
+        result.add(f"{bandwidth}GB/s", **row)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Multi-core (Figures 15-16)
+# ---------------------------------------------------------------------------
+
+def _run_mix(ctx: ExperimentContext, mix, design: CacheDesign,
+             policy_name: str):
+    params = system_for(design)
+    traces = [
+        build_trace(spec, ctx.scale.trace_length) for spec in mix.workloads
+    ]
+    factories = {
+        "none": lambda: None,
+        "naive": NaivePolicy,
+        "hpac": HpacPolicy,
+        "mab": MabPolicy,
+        "athena": AthenaPolicy,
+    }
+    sim = MultiCoreSimulator(
+        traces=traces,
+        params=params,
+        hierarchy_factory=lambda p, llc, dram: build_hierarchy(
+            design, params=p, llc=llc, dram=dram
+        ),
+        policy_factory=factories[policy_name],
+        instructions_per_core=ctx.scale.trace_length,
+        epoch_length=ctx.scale.epoch_length,
+        warmup_fraction=ctx.scale.warmup_fraction,
+    )
+    return sim.run()
+
+
+def _multicore_figure(ctx: ExperimentContext, figure_id: str, title: str,
+                      num_cores: int, mixes_per_category: int) -> FigureResult:
+    design = CacheDesign.cd1()
+    baseline_design = design.without_mechanisms()
+    mixes = build_mixes(num_cores, mixes_per_category)
+    result = FigureResult(figure_id, title)
+    policy_names = ("naive", "hpac", "mab", "athena")
+    per_category: Dict[str, Dict[str, List[float]]] = {
+        c: {p: [] for p in policy_names} for c in MIX_CATEGORIES
+    }
+    for mix in mixes:
+        baseline = _run_mix(ctx, mix, baseline_design, "none")
+        for policy in policy_names:
+            run = _run_mix(ctx, mix, design, policy)
+            per_category[mix.category][policy].append(
+                run.weighted_speedup(baseline)
+            )
+    label_map = {"naive": "Naive", "hpac": "HPAC", "mab": "MAB",
+                 "athena": "Athena"}
+    overall: Dict[str, List[float]] = {p: [] for p in policy_names}
+    for category in MIX_CATEGORIES:
+        row = {}
+        for policy in policy_names:
+            values = per_category[category][policy]
+            row[label_map[policy]] = geomean(values)
+            overall[policy].extend(values)
+        result.add(f"{category}-mix", **row)
+    result.add(
+        "Overall",
+        **{label_map[p]: geomean(overall[p]) for p in policy_names},
+    )
+    return result
+
+
+def fig15_fourcore(ctx: Optional[ExperimentContext] = None,
+                   mixes_per_category: int = 3) -> FigureResult:
+    """Figure 15: four-core mixes, CD1, per-core Athena instances."""
+    ctx = ctx or ExperimentContext()
+    return _multicore_figure(
+        ctx, "Fig15", "Speedup in four-core workload mixes", 4,
+        mixes_per_category,
+    )
+
+
+def fig16_eightcore(ctx: Optional[ExperimentContext] = None,
+                    mixes_per_category: int = 2) -> FigureResult:
+    """Figure 16: eight-core mixes, CD1."""
+    ctx = ctx or ExperimentContext()
+    return _multicore_figure(
+        ctx, "Fig16", "Speedup in eight-core workload mixes", 8,
+        mixes_per_category,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Understanding Athena (Figures 17-18) and generality (Figure 19)
+# ---------------------------------------------------------------------------
+
+def fig17_case_study(ctx: Optional[ExperimentContext] = None,
+                     workload: str = "cvp.compute_int_0") -> FigureResult:
+    """Figure 17: Athena's action distribution at 3.2 vs 25.6 GB/s."""
+    ctx = ctx or ExperimentContext()
+    from ..workloads.suites import ReproScale, find_workload
+
+    # The case study is only a handful of runs, so give the agent a longer
+    # trace than the ambient scale: the action distribution needs enough
+    # epochs past the learning transient to be meaningful.
+    if ctx.scale.trace_length < 24_000:
+        ctx = ExperimentContext(ReproScale(
+            "fig17", trace_length=24_000, workloads_per_figure=1,
+            epoch_length=max(200, ctx.scale.epoch_length),
+        ))
+    spec = find_workload(workload)
+    result = FigureResult(
+        "Fig17",
+        f"Athena action distribution on {workload} vs memory bandwidth",
+    )
+    seeds = (0x47EA, 0x51DE, 0x7357)
+    for bandwidth in (3.2, 25.6):
+        design = CacheDesign.cd1(bandwidth_gbps=bandwidth)
+        dist: Dict[str, float] = {
+            "none": 0.0, "ocp_only": 0.0, "pf_only": 0.0, "both": 0.0,
+        }
+        # Average the action mix over a few agent seeds: a single run's
+        # distribution is dominated by the exploration path at this scale.
+        for seed in seeds:
+            config = AthenaConfig(seed=seed)
+            record = ctx.run(spec, design, "athena", config)
+            for (pf_enabled, ocp_enabled), share in (
+                record.result.action_distribution().items()
+            ):
+                pf_on = any(pf_enabled)
+                if pf_on and ocp_enabled:
+                    dist["both"] += share / len(seeds)
+                elif pf_on:
+                    dist["pf_only"] += share / len(seeds)
+                elif ocp_enabled:
+                    dist["ocp_only"] += share / len(seeds)
+                else:
+                    dist["none"] += share / len(seeds)
+        dist["athena_speedup"] = ctx.speedup(
+            spec, design, "athena", AthenaConfig(seed=seeds[0])
+        )
+        dist["naive_speedup"] = ctx.speedup(spec, design)
+        result.add(f"{bandwidth}GB/s", **dist)
+    result.notes = (
+        "paper: 47% none + 35% OCP-only at 3.2 GB/s; 61% both at 25.6 GB/s"
+    )
+    return result
+
+
+def fig18_ablation(ctx: Optional[ExperimentContext] = None) -> FigureResult:
+    """Figure 18: stateless -> +each feature -> +uncorrelated reward."""
+    ctx = ctx or ExperimentContext()
+    design = CacheDesign.cd1()
+    workloads = ctx.workload_pool()
+    result = FigureResult(
+        "Fig18", "Contribution of state features and reward components"
+    )
+    result.add(
+        "MAB", speedup=ctx.geomean_speedup(workloads, design, "mab")
+    )
+    feature_chain = [
+        ("Stateless Athena (SA)", ()),
+        ("SA+PA", ("prefetcher_accuracy",)),
+        ("SA+PA+OA", ("prefetcher_accuracy", "ocp_accuracy")),
+        ("SA+PA+OA+BW",
+         ("prefetcher_accuracy", "ocp_accuracy", "bandwidth_usage")),
+        ("SA+PA+OA+BW+CP",
+         ("prefetcher_accuracy", "ocp_accuracy", "bandwidth_usage",
+          "cache_pollution")),
+    ]
+    from ..core.config import RewardWeights
+
+    ipc_only_weights = RewardWeights(loads=0.0, mispredicted_branches=0.0)
+    for label, features in feature_chain:
+        config = AthenaConfig(
+            stateless=not features,
+            features=features or ("prefetcher_accuracy",),
+            reward_weights=ipc_only_weights,
+            use_uncorrelated_reward=False,
+            # The paper's stateless configuration explores with a uniform,
+            # non-decaying epsilon (its stated reason that stateless
+            # Athena trails MAB's DUCB, §7.5.2); the stateful variants use
+            # the DSE-tuned near-greedy epsilon.
+            epsilon=0.1 if not features else AthenaConfig.epsilon,
+        )
+        result.add(
+            label,
+            speedup=ctx.geomean_speedup(workloads, design, "athena", config),
+        )
+    result.add(
+        "Athena (full, +uncorrelated reward)",
+        speedup=ctx.geomean_speedup(
+            workloads, design, "athena", AthenaConfig()
+        ),
+    )
+    return result
+
+
+def fig19_prefetcher_only(ctx: Optional[ExperimentContext] = None) -> FigureResult:
+    """Figure 19: Athena managing two L2C prefetchers without an OCP."""
+    ctx = ctx or ExperimentContext()
+    design = CacheDesign.cd3().with_ocp(None)
+    return _speedup_figure(
+        ctx,
+        "Fig19",
+        "Prefetcher-only management (SMS + Pythia, no OCP)",
+        design,
+        series={
+            "SMS+Pythia": (design, "none"),
+            "HPAC": (design, "hpac"),
+            "MAB": (design, "mab"),
+            "Athena": (design, "athena"),
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Extended results (Appendix B: Figures 20-21)
+# ---------------------------------------------------------------------------
+
+def fig20_memory_traffic(ctx: Optional[ExperimentContext] = None) -> FigureResult:
+    """Figure 20: main-memory requests and LLC miss latency (CD1)."""
+    ctx = ctx or ExperimentContext()
+    design = CacheDesign.cd1()
+    workloads = ctx.workload_pool()
+    result = FigureResult(
+        "Fig20",
+        "Normalized main-memory requests (a) and LLC miss latency (b)",
+    )
+    configs = {
+        "POPET": (design.only_ocp(), "none"),
+        "Pythia": (design.only_prefetchers(), "none"),
+        "Naive": (design, "none"),
+        "HPAC": (design, "hpac"),
+        "MAB": (design, "mab"),
+        "Athena": (design, "athena"),
+    }
+    for name, (variant, policy) in configs.items():
+        request_ratios = []
+        latency_ratios = []
+        for spec in workloads:
+            base = ctx.run(spec, design.without_mechanisms()).result.stats
+            stats = ctx.run(spec, variant, policy).result.stats
+            if base.dram_requests:
+                request_ratios.append(
+                    stats.dram_requests / base.dram_requests
+                )
+            if base.avg_llc_miss_latency > 0 and stats.llc_misses:
+                latency_ratios.append(
+                    stats.avg_llc_miss_latency / base.avg_llc_miss_latency
+                )
+        result.add(
+            name,
+            memory_requests=geomean(request_ratios),
+            llc_miss_latency=geomean(latency_ratios),
+        )
+    result.notes = (
+        "paper: Naive +21.9% requests vs Athena +5.8%; Naive +28.3% "
+        "latency vs Athena +1.7%"
+    )
+    return result
+
+
+def fig21_unseen_workloads(ctx: Optional[ExperimentContext] = None) -> FigureResult:
+    """Figure 21: unseen Google/DPC4-like workloads in CD4.
+
+    The datacenter traces are strongly phased (RPC-ish irregular bursts
+    interleaved with streaming and compute), so the figure runs them at
+    2.5x the ambient trace length — matching the paper's point that these
+    are the *longest* traces in its evaluation and giving each phase a
+    learnable number of epochs at reproduction scale.
+    """
+    from ..workloads.suites import ReproScale
+
+    ctx = ctx or ExperimentContext()
+    if ctx.scale.trace_length < 90_000:
+        ctx = ExperimentContext(ReproScale(
+            "fig21", trace_length=int(ctx.scale.trace_length * 3.5),
+            workloads_per_figure=ctx.scale.workloads_per_figure,
+            epoch_length=ctx.scale.epoch_length,
+        ))
+    design = CacheDesign.cd4()
+    result = FigureResult(
+        "Fig21", "Speedup on unseen datacenter workloads (CD4)"
+    )
+    series = {
+        "Naive": (design, "none"),
+        "TLP": (design, "tlp"),
+        "HPAC": (design, "hpac"),
+        "MAB": (design, "mab"),
+        "Athena": (design, "athena"),
+    }
+    workloads = list(google_workloads())
+    for spec in workloads:
+        row = {
+            name: ctx.speedup(spec, variant, policy)
+            for name, (variant, policy) in series.items()
+        }
+        result.add(spec.name.replace("google.", ""), **row)
+    result.add(
+        "overall",
+        **{
+            name: geomean([ctx.speedup(w, variant, policy)
+                           for w in workloads])
+            for name, (variant, policy) in series.items()
+        },
+    )
+    return result
+
+
+#: registry used by benchmarks and the report generator.
+FIGURES = {
+    "Fig1": fig01_motivation_lines,
+    "Fig2": fig02_naive_vs_staticbest,
+    "Fig3": fig03_offchip_fill_accuracy,
+    "Fig4": fig04_prior_policies,
+    "Fig7": fig07_cd1,
+    "Fig8a": fig08a_category_boxes,
+    "Fig8b": fig08b_athena_vs_staticbest,
+    "Fig9": fig09_cd2,
+    "Fig10": fig10_cd3,
+    "Fig11": fig11_cd4,
+    "Fig12a": fig12a_l2c_prefetcher_sweep,
+    "Fig12b": fig12b_ocp_sweep,
+    "Fig12c": fig12c_ocp_latency_sweep,
+    "Fig13": fig13_l1d_prefetcher_sweep,
+    "Fig14": fig14_bandwidth_sweep,
+    "Fig15": fig15_fourcore,
+    "Fig16": fig16_eightcore,
+    "Fig17": fig17_case_study,
+    "Fig18": fig18_ablation,
+    "Fig19": fig19_prefetcher_only,
+    "Fig20": fig20_memory_traffic,
+    "Fig21": fig21_unseen_workloads,
+}

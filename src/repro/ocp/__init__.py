@@ -1,0 +1,33 @@
+"""Off-chip predictors evaluated by the paper (POPET, HMP, TTP)."""
+
+from .base import OffChipPredictor
+from .hmp import HmpPredictor
+from .popet import PopetPredictor
+from .ttp import TtpPredictor
+
+#: registry keyed by the names used in experiment configurations.
+OCPS = {
+    "popet": PopetPredictor,
+    "hmp": HmpPredictor,
+    "ttp": TtpPredictor,
+}
+
+
+def make_ocp(name: str) -> OffChipPredictor:
+    """Instantiate an off-chip predictor by registry name."""
+    try:
+        return OCPS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown OCP {name!r}; valid: {sorted(OCPS)}"
+        ) from None
+
+
+__all__ = [
+    "HmpPredictor",
+    "OCPS",
+    "OffChipPredictor",
+    "PopetPredictor",
+    "TtpPredictor",
+    "make_ocp",
+]

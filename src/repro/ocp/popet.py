@@ -1,0 +1,86 @@
+"""POPET — perceptron-based off-chip predictor (Hermes; Bera+, MICRO 2022).
+
+POPET predicts whether a load will miss the entire on-chip cache hierarchy
+using a *hashed perceptron* over five program features.  Each feature
+indexes its own weight table; the prediction is positive when the summed
+weights exceed an activation threshold.  Training nudges the contributing
+weights toward the resolved outcome whenever the prediction was wrong or
+the confidence margin was small (perceptron-with-margin update).
+
+We use the five features of the MICRO'22 configuration: PC, PC xor
+byte-offset-in-line, PC xor line-offset-in-page, cacheline address, and
+the page address, each hashed into a 1K-entry table of 5-bit weights
+(4 KB total, Table 8).  The byte-offset feature is load-bearing: it
+separates the first touch of a line (which misses) from subsequent
+same-line element accesses (which hit) under the same PC.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .base import OffChipPredictor
+
+_TABLE_SIZE = 1024
+_NUM_FEATURES = 5
+_WEIGHT_MAX = 15
+_WEIGHT_MIN = -16
+_ACTIVATION_THRESHOLD = 2
+_TRAINING_MARGIN = 8
+
+_PAGE_SHIFT = 6  # lines per page
+
+
+def _hash(value: int) -> int:
+    value = (value * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    value ^= value >> 31
+    return value % _TABLE_SIZE
+
+
+class PopetPredictor(OffChipPredictor):
+    """Hashed-perceptron off-chip predictor."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._weights = [[0] * _TABLE_SIZE for _ in range(_NUM_FEATURES)]
+
+    @staticmethod
+    def _feature_indices(pc: int, line_addr: int, byte_offset: int) -> List[int]:
+        ip = pc >> 2
+        page = line_addr >> _PAGE_SHIFT
+        offset = line_addr & ((1 << _PAGE_SHIFT) - 1)
+        return [
+            _hash(ip),
+            _hash((ip << 7) ^ byte_offset),
+            _hash((ip << 6) ^ offset),
+            _hash(line_addr),
+            _hash(page),
+        ]
+
+    def _score(self, pc: int, line_addr: int, byte_offset: int) -> int:
+        return sum(
+            self._weights[f][i]
+            for f, i in enumerate(
+                self._feature_indices(pc, line_addr, byte_offset)
+            )
+        )
+
+    def _predict(self, pc: int, line_addr: int, byte_offset: int) -> bool:
+        return self._score(pc, line_addr, byte_offset) >= _ACTIVATION_THRESHOLD
+
+    def train(self, pc: int, line_addr: int, went_offchip: bool,
+              byte_offset: int = 0) -> None:
+        score = self._score(pc, line_addr, byte_offset)
+        predicted = score >= _ACTIVATION_THRESHOLD
+        confident = abs(score - _ACTIVATION_THRESHOLD) > _TRAINING_MARGIN
+        if predicted == went_offchip and confident:
+            return
+        step = 1 if went_offchip else -1
+        for f, i in enumerate(
+            self._feature_indices(pc, line_addr, byte_offset)
+        ):
+            w = self._weights[f][i] + step
+            self._weights[f][i] = max(_WEIGHT_MIN, min(_WEIGHT_MAX, w))
+
+    def storage_bits(self) -> int:
+        return _NUM_FEATURES * _TABLE_SIZE * 5  # 5-bit weights

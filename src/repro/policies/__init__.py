@@ -1,0 +1,26 @@
+"""Prefetcher-OCP coordination policies."""
+
+from .athena import AthenaPolicy
+from .base import (
+    CoordinationAction,
+    CoordinationPolicy,
+    FixedPolicy,
+    NaivePolicy,
+    enumerate_actions,
+)
+from .hpac import HpacPolicy, HpacThresholds
+from .mab import MabPolicy
+from .tlp import TlpPolicy
+
+__all__ = [
+    "AthenaPolicy",
+    "CoordinationAction",
+    "CoordinationPolicy",
+    "FixedPolicy",
+    "HpacPolicy",
+    "HpacThresholds",
+    "MabPolicy",
+    "NaivePolicy",
+    "TlpPolicy",
+    "enumerate_actions",
+]

@@ -1,0 +1,45 @@
+"""Hardware data prefetchers evaluated by the paper (Table 8)."""
+
+from .base import Prefetcher
+from .berti import BertiPrefetcher
+from .ipcp import IpcpPrefetcher
+from .mlop import MlopPrefetcher
+from .pythia import PythiaPrefetcher
+from .sms import SmsPrefetcher
+from .spp_ppf import SppPpfPrefetcher
+from .streamer import StreamPrefetcher
+
+#: registry keyed by the names used in experiment configurations.
+PREFETCHERS = {
+    "ipcp": IpcpPrefetcher,
+    "berti": BertiPrefetcher,
+    "pythia": PythiaPrefetcher,
+    "spp_ppf": SppPpfPrefetcher,
+    "mlop": MlopPrefetcher,
+    "sms": SmsPrefetcher,
+    "streamer": StreamPrefetcher,
+}
+
+
+def make_prefetcher(name: str) -> Prefetcher:
+    """Instantiate a prefetcher by registry name."""
+    try:
+        return PREFETCHERS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown prefetcher {name!r}; valid: {sorted(PREFETCHERS)}"
+        ) from None
+
+
+__all__ = [
+    "BertiPrefetcher",
+    "IpcpPrefetcher",
+    "MlopPrefetcher",
+    "PREFETCHERS",
+    "Prefetcher",
+    "PythiaPrefetcher",
+    "SmsPrefetcher",
+    "SppPpfPrefetcher",
+    "StreamPrefetcher",
+    "make_prefetcher",
+]

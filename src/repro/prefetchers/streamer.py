@@ -1,0 +1,57 @@
+"""Simple next-line streamer — unit-test baseline, not a paper mechanism.
+
+Detects monotonic streams per 4KB page and prefetches the next ``degree``
+lines in stream direction.  Used by tests that need a predictable
+prefetcher and by examples that contrast trivial and learned prefetching.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List
+
+from .base import Prefetcher
+
+_PAGE_SHIFT = 6  # 64 lines = 4KB pages
+
+
+class StreamPrefetcher(Prefetcher):
+    """Per-page unit-stride stream detector."""
+
+    level = "l2c"
+    max_degree = 4
+
+    def __init__(self, table_size: int = 64) -> None:
+        super().__init__()
+        self.table_size = table_size
+        self._pages: OrderedDict = OrderedDict()
+
+    def _train_and_predict(self, pc: int, line_addr: int, hit: bool) -> List[int]:
+        page = line_addr >> _PAGE_SHIFT
+        entry = self._pages.get(page)
+        candidates: List[int] = []
+        if entry is not None:
+            last, direction, confidence = entry
+            step = line_addr - last
+            if step == direction and step in (-1, 1):
+                confidence = min(3, confidence + 1)
+            elif step in (-1, 1):
+                direction, confidence = step, 1
+            else:
+                confidence = max(0, confidence - 1)
+            if confidence >= 2 and direction:
+                candidates = [
+                    line_addr + direction * k
+                    for k in range(1, self.max_degree + 1)
+                ]
+            self._pages[page] = (line_addr, direction, confidence)
+            self._pages.move_to_end(page)
+        else:
+            self._pages[page] = (line_addr, 0, 0)
+            if len(self._pages) > self.table_size:
+                self._pages.popitem(last=False)
+        return [c for c in candidates if c >= 0]
+
+    def storage_bits(self) -> int:
+        # page tag (36b) + last line (6b) + direction (2b) + confidence (2b)
+        return self.table_size * (36 + 6 + 2 + 2)

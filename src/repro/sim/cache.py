@@ -1,0 +1,195 @@
+"""Set-associative cache model with prefetch/dirty/reuse metadata.
+
+The cache is a *functional* model: it tracks which lines are resident, their
+prefetch bits (for accuracy accounting), dirty bits (for writeback traffic)
+and reuse bits (for SHiP training and the "inaccurate off-chip prefetch
+fill" statistic of paper Figure 3).  Timing is handled analytically by the
+hierarchy / core model; the cache itself only reports hits and evictions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .params import CacheParams
+from .replacement import make_replacement
+
+
+@dataclass
+class CacheLine:
+    tag: int = -1
+    valid: bool = False
+    dirty: bool = False
+    prefetched: bool = False
+    reused: bool = False
+    fill_pc: int = 0
+    filled_from_dram: bool = False
+    #: time the line's data actually arrives (in-flight fills; a demand hit
+    #: on a line still in flight waits until this time — MSHR merge).
+    ready_time: float = 0.0
+
+
+@dataclass
+class EvictedLine:
+    """Information about a line displaced by a fill."""
+
+    line_addr: int
+    dirty: bool
+    prefetched: bool
+    reused: bool
+    evicted_for_prefetch: bool
+
+
+@dataclass
+class FillResult:
+    """Outcome of inserting a line: the victim, if a valid one existed."""
+
+    evicted: Optional[EvictedLine]
+
+
+class Cache:
+    """One cache level (L1D, L2C or LLC)."""
+
+    def __init__(self, params: CacheParams) -> None:
+        if params.num_sets <= 0:
+            raise ValueError(f"{params.name}: non-positive set count")
+        if params.num_sets & (params.num_sets - 1):
+            raise ValueError(
+                f"{params.name}: set count {params.num_sets} must be a power "
+                f"of two (size/ways/line_size mismatch)"
+            )
+        self.params = params
+        self.num_sets = params.num_sets
+        self.ways = params.ways
+        self._set_mask = self.num_sets - 1
+        self._lines = [
+            [CacheLine() for _ in range(self.ways)] for _ in range(self.num_sets)
+        ]
+        self._replacement = make_replacement(
+            params.replacement, self.num_sets, self.ways
+        )
+        self.hits = 0
+        self.misses = 0
+
+    # -- addressing -------------------------------------------------------
+
+    def _set_index(self, line_addr: int) -> int:
+        return line_addr & self._set_mask
+
+    def _tag(self, line_addr: int) -> int:
+        return line_addr >> self.num_sets.bit_length() - 1
+
+    def _find(self, line_addr: int):
+        si = self._set_index(line_addr)
+        tag = self._tag(line_addr)
+        for way, line in enumerate(self._lines[si]):
+            if line.valid and line.tag == tag:
+                return si, way, line
+        return si, -1, None
+
+    # -- lookups ----------------------------------------------------------
+
+    def lookup(self, line_addr: int, pc: int = 0, is_write: bool = False):
+        """Demand lookup.  Returns the hit :class:`CacheLine` or ``None``.
+
+        On a hit the replacement state is updated and the line's prefetch
+        bit (if set) is cleared after being reported, so that each prefetch
+        counts as useful at most once.
+        """
+        si, way, line = self._find(line_addr)
+        if line is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        line.reused = True
+        if is_write:
+            line.dirty = True
+        self._replacement.on_hit(si, way, pc)
+        return line
+
+    def probe(self, line_addr: int) -> bool:
+        """Presence check with no state side effects (used by prefetch/OCP)."""
+        _, _, line = self._find(line_addr)
+        return line is not None
+
+    # -- fills -------------------------------------------------------------
+
+    def fill(
+        self,
+        line_addr: int,
+        pc: int = 0,
+        is_prefetch: bool = False,
+        dirty: bool = False,
+        from_dram: bool = False,
+        ready_time: float = 0.0,
+    ) -> FillResult:
+        """Insert ``line_addr``; returns eviction info for the victim."""
+        si, way, line = self._find(line_addr)
+        if line is not None:
+            # Already present (e.g. prefetch raced a demand): just merge bits.
+            line.dirty = line.dirty or dirty
+            line.ready_time = min(line.ready_time, ready_time)
+            return FillResult(evicted=None)
+
+        lines = self._lines[si]
+        victim_way = next(
+            (w for w, l in enumerate(lines) if not l.valid), None
+        )
+        evicted = None
+        if victim_way is None:
+            victim_way = self._replacement.victim(si)
+            victim = lines[victim_way]
+            self._replacement.on_eviction(
+                si, victim_way, was_reused=victim.reused, fill_pc=victim.fill_pc
+            )
+            evicted = EvictedLine(
+                line_addr=self._reconstruct_addr(si, victim.tag),
+                dirty=victim.dirty,
+                prefetched=victim.prefetched,
+                reused=victim.reused,
+                evicted_for_prefetch=is_prefetch,
+            )
+
+        new = lines[victim_way]
+        new.tag = self._tag(line_addr)
+        new.valid = True
+        new.dirty = dirty
+        new.prefetched = is_prefetch
+        new.reused = False
+        new.fill_pc = pc
+        new.filled_from_dram = from_dram
+        new.ready_time = ready_time
+        self._replacement.on_fill(si, victim_way, pc, is_prefetch)
+        return FillResult(evicted=evicted)
+
+    def _reconstruct_addr(self, set_index: int, tag: int) -> int:
+        return (tag << (self.num_sets.bit_length() - 1)) | set_index
+
+    def invalidate(self, line_addr: int) -> bool:
+        """Remove a line if present (used by tests and TTP mirroring)."""
+        _, _, line = self._find(line_addr)
+        if line is None:
+            return False
+        line.valid = False
+        line.tag = -1
+        return True
+
+    # -- introspection ------------------------------------------------------
+
+    def occupancy(self) -> int:
+        return sum(
+            1 for s in self._lines for l in s if l.valid
+        )
+
+    def resident_lines(self):
+        """Yield all resident line addresses (diagnostics and tests)."""
+        for si, lines in enumerate(self._lines):
+            for line in lines:
+                if line.valid:
+                    yield self._reconstruct_addr(si, line.tag)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,123 @@
+"""Banked main-memory model with an explicit data-bus occupancy model.
+
+The key property the paper's results depend on is *bandwidth contention*:
+every 64-byte transfer (demand, prefetch, OCP speculative fetch, writeback)
+occupies the shared data bus for ``line_transfer_cycles`` — 80 core cycles
+at the default 3.2 GB/s.  Useless prefetch and OCP traffic therefore delays
+demand requests, which is what makes prefetchers performance-negative in
+bandwidth-constrained configurations (paper §2.1.1, Figure 14).
+
+Per-bank row-buffer state provides the row-hit/row-miss latency split
+(tCAS vs tRP+tRCD+tCAS) of Table 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .params import DramParams
+
+
+@dataclass
+class DramAccessResult:
+    completion_time: float
+    queue_delay: float
+    row_hit: bool
+
+
+class MainMemory:
+    """Single-channel DRAM shared by all requestors of one (or more) cores."""
+
+    DEMAND = "demand"
+    PREFETCH = "prefetch"
+    OCP = "ocp"
+    WRITEBACK = "writeback"
+
+    def __init__(self, params: DramParams) -> None:
+        self.params = params
+        self._bank_free = [0.0] * params.num_banks
+        self._open_row = [-1] * params.num_banks
+        self._bus_free = 0.0
+        self._busy_cycles = 0.0
+        self.requests_by_kind = {
+            self.DEMAND: 0,
+            self.PREFETCH: 0,
+            self.OCP: 0,
+            self.WRITEBACK: 0,
+        }
+
+    def _locate(self, line_addr: int):
+        lines_per_row = self.params.lines_per_row
+        row = line_addr // lines_per_row
+        bank = row % self.params.num_banks
+        return bank, row
+
+    def access(self, now: float, line_addr: int, kind: str) -> DramAccessResult:
+        """Issue one line transfer at time ``now``; returns completion time.
+
+        The request first waits for its bank (row activation), then for the
+        shared data bus.  Both resources are modelled as next-free-time
+        scalars, so a burst of requests sees linearly growing queue delay —
+        the bandwidth wall.
+        """
+        if kind not in self.requests_by_kind:
+            raise ValueError(f"unknown DRAM request kind {kind!r}")
+        self.requests_by_kind[kind] += 1
+
+        bank, row = self._locate(line_addr)
+        p = self.params
+
+        bank_ready = max(now, self._bank_free[bank])
+        if self._open_row[bank] == row:
+            access_latency = p.t_cas
+            row_hit = True
+        elif self._open_row[bank] == -1:
+            access_latency = p.t_rcd + p.t_cas
+            row_hit = False
+        else:
+            access_latency = p.t_rp + p.t_rcd + p.t_cas
+            row_hit = False
+        self._open_row[bank] = row
+
+        data_ready = bank_ready + access_latency
+        transfer_start = max(data_ready, self._bus_free)
+        transfer = p.line_transfer_cycles
+        completion = transfer_start + transfer
+
+        self._bus_free = completion
+        self._bank_free[bank] = data_ready
+        self._busy_cycles += transfer
+
+        queue_delay = completion - now - access_latency - transfer
+        return DramAccessResult(
+            completion_time=completion,
+            queue_delay=max(0.0, queue_delay),
+            row_hit=row_hit,
+        )
+
+    # -- telemetry -----------------------------------------------------------
+
+    @property
+    def next_bus_free(self) -> float:
+        """Earliest time a new transfer could start on the data bus."""
+        return self._bus_free
+
+    @property
+    def total_requests(self) -> int:
+        return sum(self.requests_by_kind.values())
+
+    @property
+    def busy_cycles(self) -> float:
+        """Cumulative data-bus occupancy, for bandwidth-usage features."""
+        return self._busy_cycles
+
+    def bandwidth_usage(self, elapsed_cycles: float) -> float:
+        """Fraction of peak bandwidth consumed over ``elapsed_cycles``."""
+        if elapsed_cycles <= 0:
+            return 0.0
+        return min(1.0, self._busy_cycles / elapsed_cycles)
+
+    def snapshot(self) -> dict:
+        snap = dict(self.requests_by_kind)
+        snap["busy_cycles"] = self._busy_cycles
+        return snap

@@ -1,0 +1,386 @@
+"""Three-level cache hierarchy with prefetchers and an off-chip predictor.
+
+This module glues together the functional caches, the DRAM bandwidth model,
+the prefetchers and the OCP into the demand-access path the simulator
+drives.  It implements the mechanisms the paper's observations rest on:
+
+* demand loads traverse L1D -> L2C -> LLC -> DRAM, accumulating round-trip
+  latencies (Table 5);
+* a positive OCP prediction launches a speculative DRAM fetch
+  ``ocp_issue_latency`` cycles after the load is seen, removing the on-chip
+  lookup serialisation from true off-chip misses (Hermes semantics) at the
+  cost of wasted bandwidth on mispredictions;
+* prefetchers observe the demands looking up their level and fill candidate
+  lines, consuming DRAM bandwidth and potentially polluting the LLC;
+* fills, evictions, pollution, prefetch usefulness and off-chip fill
+  accuracy (Figure 3) are all tracked and exposed to coordination policies.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from ..ocp.base import OffChipPredictor
+from ..prefetchers.base import Prefetcher
+from .cache import Cache
+from .dram import MainMemory
+from .params import LINE_SHIFT, SystemParams
+from .stats import SimStats
+
+#: Cap on remembered prefetch-evicted victims (models the finite hardware
+#: pollution filter; also bounds memory in long runs).
+_POLLUTION_WINDOW = 1 << 15
+
+PrefetchFilter = Callable[[int, int, str], bool]
+
+
+class CacheHierarchy:
+    """Single core's view of the memory system.
+
+    ``llc`` and ``dram`` may be shared across hierarchies (multi-core).
+    """
+
+    def __init__(
+        self,
+        params: SystemParams,
+        prefetchers: Sequence[Prefetcher] = (),
+        ocp: Optional[OffChipPredictor] = None,
+        dram: Optional[MainMemory] = None,
+        llc: Optional[Cache] = None,
+        stats: Optional[SimStats] = None,
+    ) -> None:
+        self.params = params
+        self.l1d = Cache(params.l1d)
+        self.l2c = Cache(params.l2c)
+        self.llc = llc if llc is not None else Cache(params.llc)
+        self.dram = dram if dram is not None else MainMemory(params.dram)
+        self.stats = stats if stats is not None else SimStats()
+        self.ocp = ocp
+        self.prefetchers = list(prefetchers)
+        for pf in self.prefetchers:
+            if pf.level not in ("l1d", "l2c"):
+                raise ValueError(f"{pf.name}: unsupported level {pf.level!r}")
+        #: Optional per-request prefetch drop filter (used by TLP).
+        self.prefetch_filter: Optional[PrefetchFilter] = None
+        #: Recently prefetch-evicted LLC victims, for pollution accounting.
+        self._pollution_victims: dict = {}
+        self._pollution_clock = 0
+        #: Observers notified of microarchitectural events (Athena trackers).
+        self.observers: List = []
+
+    # ------------------------------------------------------------------ events
+
+    def _notify(self, method: str, *args) -> None:
+        for obs in self.observers:
+            getattr(obs, method, _ignore)(*args)
+
+    # ------------------------------------------------------------------ demand
+
+    def load(self, pc: int, addr: int, now: float) -> "LoadResult":
+        """Perform a demand load; returns its latency and outcome."""
+        line = addr >> LINE_SHIFT
+        byte_offset = addr & ((1 << LINE_SHIFT) - 1)
+        p = self.params
+        stats = self.stats
+
+        # 1. Off-chip prediction races the cache lookup.
+        ocp_predicted = False
+        ocp_completion = None
+        if self.ocp is not None:
+            predicted = self.ocp.predict(pc, line, byte_offset)
+            if predicted:
+                ocp_predicted = True
+                stats.ocp_predictions += 1
+                issue_time = now + p.ocp_issue_latency
+                res = self.dram.access(issue_time, line, MainMemory.OCP)
+                stats.dram_ocp_requests += 1
+                ocp_completion = res.completion_time
+                self._notify("on_ocp_request", line)
+
+        # 2. Walk the hierarchy.
+        went_offchip = False
+        hit_l1 = self.l1d.lookup(line, pc)
+        if hit_l1 is not None:
+            stats.l1d_hits += 1
+            latency = max(float(p.l1d.latency), hit_l1.ready_time - now)
+            if hit_l1.prefetched:
+                self._credit_useful_prefetch(hit_l1, line, "l1d")
+            self._train_l1_prefetchers(pc, line, hit=True, now=now)
+        else:
+            stats.l1d_misses += 1
+            self._train_l1_prefetchers(pc, line, hit=False, now=now)
+            hit_l2 = self.l2c.lookup(line, pc)
+            if hit_l2 is not None:
+                stats.l2c_hits += 1
+                latency = max(
+                    float(p.l1d.latency + p.l2c.latency),
+                    hit_l2.ready_time - now,
+                )
+                self._fill_level(self.l1d, line, pc,
+                                 ready_time=hit_l2.ready_time)
+                if hit_l2.prefetched:
+                    self._credit_useful_prefetch(hit_l2, line, "l2c")
+                self._train_l2_prefetchers(pc, line, hit=True, now=now)
+            else:
+                stats.l2c_misses += 1
+                self._train_l2_prefetchers(pc, line, hit=False, now=now)
+                hit_llc = self.llc.lookup(line, pc)
+                if hit_llc is not None:
+                    stats.llc_hits += 1
+                    latency = max(
+                        float(p.l1d.latency + p.l2c.latency + p.llc.latency),
+                        hit_llc.ready_time - now,
+                    )
+                    self._fill_level(self.l2c, line, pc,
+                                     ready_time=hit_llc.ready_time)
+                    self._fill_level(self.l1d, line, pc,
+                                     ready_time=hit_llc.ready_time)
+                    if hit_llc.prefetched:
+                        self._credit_useful_prefetch(hit_llc, line, "llc")
+                else:
+                    went_offchip = True
+                    latency = self._serve_offchip_load(
+                        pc, line, now, ocp_predicted, ocp_completion
+                    )
+
+        # 3. Resolve OCP training and accuracy accounting.
+        if self.ocp is not None:
+            self.ocp.train(pc, line, went_offchip, byte_offset)
+            if ocp_predicted and went_offchip:
+                stats.ocp_correct += 1
+                self._notify("on_ocp_correct", line)
+
+        self._notify("on_demand_load", pc, line, went_offchip)
+        return LoadResult(latency=latency, went_offchip=went_offchip)
+
+    def _serve_offchip_load(
+        self,
+        pc: int,
+        line: int,
+        now: float,
+        ocp_predicted: bool,
+        ocp_completion: Optional[float],
+    ) -> float:
+        """Fetch a demand miss from DRAM; OCP hit short-circuits the lookup."""
+        p = self.params
+        onchip_lookup = p.l1d.latency + p.l2c.latency + p.llc.latency
+        if ocp_predicted and ocp_completion is not None:
+            # The speculative request *is* the fetch: data arrives when the
+            # early DRAM access completes (but the demand still pays at
+            # least its L1 lookup before the miss is known to the core).
+            latency = max(ocp_completion - now, float(p.l1d.latency))
+            saved = (now + onchip_lookup) - (now + p.ocp_issue_latency)
+            self.stats.ocp_saved_cycles += max(0.0, saved)
+        else:
+            issue_time = now + onchip_lookup
+            res = self.dram.access(issue_time, line, MainMemory.DEMAND)
+            self.stats.dram_demand_requests += 1
+            latency = res.completion_time - now
+        self.stats.llc_miss_latency_sum += latency
+        self.stats.llc_misses += 1
+        if line in self._pollution_victims:
+            self.stats.pollution_misses += 1
+            del self._pollution_victims[line]
+            self._notify("on_pollution_miss", line)
+        self._notify("on_llc_demand_miss", line)
+
+        arrival = now + latency
+        self._fill_level(self.llc, line, pc, from_dram=True,
+                         ready_time=arrival)
+        self._fill_level(self.l2c, line, pc, from_dram=True,
+                         ready_time=arrival)
+        self._fill_level(self.l1d, line, pc, from_dram=True,
+                         ready_time=arrival)
+        if self.ocp is not None:
+            self.ocp.on_fill(line)
+        return latency
+
+    def store(self, pc: int, addr: int, now: float) -> float:
+        """Perform a store.  Write-allocate; latency hidden by the SQ.
+
+        The store's fill traffic is charged to DRAM (it contends with
+        everything else) but the returned latency is a single cycle because
+        stores retire through the store queue off the critical path.
+        """
+        line = addr >> LINE_SHIFT
+        hit = self.l1d.lookup(line, pc, is_write=True)
+        if hit is None:
+            if self.l2c.probe(line):
+                self.l2c.lookup(line, pc)
+            elif self.llc.probe(line):
+                self.llc.lookup(line, pc)
+                self._fill_level(self.l2c, line, pc)
+            else:
+                self.dram.access(now, line, MainMemory.DEMAND)
+                self.stats.dram_demand_requests += 1
+                self._fill_level(self.llc, line, pc, from_dram=True)
+                self._fill_level(self.l2c, line, pc, from_dram=True)
+                if self.ocp is not None:
+                    self.ocp.on_fill(line)
+            self._fill_level(self.l1d, line, pc, dirty=True)
+        return 1.0
+
+    # ------------------------------------------------------------------ fills
+
+    def _fill_level(
+        self,
+        cache: Cache,
+        line: int,
+        pc: int,
+        is_prefetch: bool = False,
+        dirty: bool = False,
+        from_dram: bool = False,
+        ready_time: float = 0.0,
+    ) -> None:
+        result = cache.fill(
+            line, pc, is_prefetch=is_prefetch, dirty=dirty,
+            from_dram=from_dram, ready_time=ready_time,
+        )
+        evicted = result.evicted
+        if evicted is None:
+            return
+        if cache is self.llc:
+            if evicted.dirty:
+                # Writebacks consume bus bandwidth at an approximate time.
+                self.dram.access(
+                    self.dram.next_bus_free, evicted.line_addr,
+                    MainMemory.WRITEBACK,
+                )
+                self.stats.dram_writeback_requests += 1
+            if self.ocp is not None:
+                self.ocp.on_eviction(evicted.line_addr)
+            if evicted.evicted_for_prefetch:
+                self._record_pollution_victim(evicted.line_addr)
+                self._notify("on_prefetch_eviction", evicted.line_addr)
+        else:
+            # Non-LLC evictions write back into the next level.
+            if evicted.dirty:
+                nxt = self.l2c if cache is self.l1d else self.llc
+                nxt.fill(evicted.line_addr, pc, dirty=True)
+        if evicted.prefetched and evicted.line_addr != line:
+            # Prefetched line evicted without ever being demanded.
+            if cache.params.name in ("L1D", "L2C"):
+                self._account_dead_prefetch(evicted)
+
+    def _account_dead_prefetch(self, evicted) -> None:
+        if evicted.reused:
+            return
+        # The line's prefetch bit survived until eviction => never used.
+        if getattr(evicted, "filled_from_dram", False):
+            self.stats.prefetch_fills_offchip_useless += 1
+
+    def _record_pollution_victim(self, line_addr: int) -> None:
+        self._pollution_clock += 1
+        self._pollution_victims[line_addr] = self._pollution_clock
+        if len(self._pollution_victims) > _POLLUTION_WINDOW:
+            oldest = min(self._pollution_victims, key=self._pollution_victims.get)
+            del self._pollution_victims[oldest]
+
+    def _credit_useful_prefetch(self, cache_line, line: int,
+                                level: str = "llc") -> None:
+        cache_line.prefetched = False
+        self.stats.prefetches_useful += 1
+        if cache_line.filled_from_dram:
+            self.stats.prefetches_useful_offchip += 1
+            if level == "l1d":
+                self.stats.prefetches_useful_offchip_l1d += 1
+            elif level == "l2c":
+                self.stats.prefetches_useful_offchip_l2c += 1
+        for pf in self.prefetchers:
+            pf.on_prefetch_useful(line)
+        self._notify("on_prefetch_useful", line)
+
+    # ------------------------------------------------------------------ prefetch
+
+    def _train_l1_prefetchers(self, pc: int, line: int, hit: bool, now: float) -> None:
+        for pf in self.prefetchers:
+            if pf.level == "l1d":
+                self._issue_prefetches(pf, pf.observe(pc, line, hit), pc, now)
+
+    def _train_l2_prefetchers(self, pc: int, line: int, hit: bool, now: float) -> None:
+        for pf in self.prefetchers:
+            if pf.level == "l2c":
+                self._issue_prefetches(pf, pf.observe(pc, line, hit), pc, now)
+
+    def _issue_prefetches(
+        self, pf: Prefetcher, candidates: List[int], pc: int, now: float
+    ) -> None:
+        for cand in candidates:
+            if cand < 0:
+                continue
+            if self.prefetch_filter is not None and not self.prefetch_filter(
+                pc, cand, pf.level
+            ):
+                continue
+            self._issue_one_prefetch(pf, cand, pc, now)
+
+    def _issue_one_prefetch(
+        self, pf: Prefetcher, line: int, pc: int, now: float
+    ) -> None:
+        target = self.l1d if pf.level == "l1d" else self.l2c
+        if target.probe(line):
+            return
+        self.stats.prefetches_issued += 1
+        self._notify("on_prefetch_issued", line)
+
+        from_dram = False
+        arrival = now
+        if pf.level == "l1d" and self.l2c.probe(line):
+            pass  # pulled up from L2, no off-chip traffic
+        elif self.llc.probe(line):
+            pass  # pulled up from LLC, no off-chip traffic
+        else:
+            result = self.dram.access(now, line, MainMemory.PREFETCH)
+            self.stats.dram_prefetch_requests += 1
+            from_dram = True
+            arrival = result.completion_time
+            self.stats.prefetch_fills_offchip += 1
+            if pf.level == "l1d":
+                self.stats.prefetch_fills_offchip_l1d += 1
+            else:
+                self.stats.prefetch_fills_offchip_l2c += 1
+            self._fill_level(
+                self.llc, line, pc, is_prefetch=True, from_dram=True,
+                ready_time=arrival,
+            )
+            if self.ocp is not None:
+                self.ocp.on_fill(line)
+        if pf.level == "l1d":
+            self._fill_level(self.l1d, line, pc, is_prefetch=True,
+                             from_dram=from_dram, ready_time=arrival)
+        else:
+            self._fill_level(self.l2c, line, pc, is_prefetch=True,
+                             from_dram=from_dram, ready_time=arrival)
+        pf.on_prefetch_filled(line, from_dram)
+
+    # ------------------------------------------------------------------ control
+
+    def set_prefetchers_enabled(self, flags: Sequence[bool]) -> None:
+        if len(flags) != len(self.prefetchers):
+            raise ValueError(
+                f"expected {len(self.prefetchers)} flags, got {len(flags)}"
+            )
+        for pf, flag in zip(self.prefetchers, flags):
+            pf.enabled = bool(flag)
+
+    def set_ocp_enabled(self, flag: bool) -> None:
+        if self.ocp is not None:
+            self.ocp.enabled = bool(flag)
+
+    def set_degree_fraction(self, fraction: float) -> None:
+        for pf in self.prefetchers:
+            pf.set_degree_fraction(fraction)
+
+
+class LoadResult:
+    """Latency and outcome of one demand load."""
+
+    __slots__ = ("latency", "went_offchip")
+
+    def __init__(self, latency: float, went_offchip: bool) -> None:
+        self.latency = latency
+        self.went_offchip = went_offchip
+
+
+def _ignore(*_args) -> None:
+    """Default no-op observer method."""

@@ -1,0 +1,238 @@
+"""Multi-core simulation: private L1D/L2C per core, shared LLC and DRAM.
+
+Mirrors the paper's multi-core methodology (§6.1): each core runs its own
+workload trace (replayed as needed), has private L1D/L2C with its own
+prefetchers and OCP, and contends for the shared LLC and the shared DRAM
+channel.  Each core also runs its *own* coordination-policy instance
+(Athena is per-core hardware), using the single-core-tuned configuration
+unaltered — exactly the paper's §7.4 setup.
+
+Cores are interleaved in time order: at every step the core with the
+smallest local clock executes its next instruction, so DRAM and LLC see an
+(approximately) time-ordered request stream and bandwidth contention
+behaves like a shared channel.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # avoid a sim <-> policies import cycle
+    from ..policies.base import CoordinationPolicy
+from ..workloads.trace import (
+    FLAG_BRANCH,
+    FLAG_DEP,
+    FLAG_LOAD,
+    FLAG_MISPRED,
+    FLAG_STORE,
+    Trace,
+)
+from .cache import Cache
+from .cpu import CoreModel
+from .dram import MainMemory
+from .hierarchy import CacheHierarchy
+from .params import SystemParams
+from .simulator import Simulator, hierarchy_kind_delta
+from .stats import SimStats
+
+
+@dataclass
+class CoreResult:
+    """Per-core outcome of a multi-core run."""
+
+    workload: str
+    instructions: int
+    cycles: float
+    stats: SimStats
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+@dataclass
+class MultiCoreResult:
+    cores: List[CoreResult] = field(default_factory=list)
+
+    def weighted_speedup(self, baseline: "MultiCoreResult") -> float:
+        """Geometric-mean per-core speedup against a baseline run."""
+        if len(self.cores) != len(baseline.cores):
+            raise ValueError("core count mismatch between runs")
+        product = 1.0
+        for mine, base in zip(self.cores, baseline.cores):
+            if base.ipc <= 0:
+                raise ValueError(f"baseline IPC is zero for {base.workload}")
+            product *= mine.ipc / base.ipc
+        return product ** (1.0 / len(self.cores))
+
+
+class _CoreContext:
+    """Execution state of one core inside the multi-core loop."""
+
+    def __init__(
+        self,
+        core_id: int,
+        trace: Trace,
+        hierarchy: CacheHierarchy,
+        policy: Optional["CoordinationPolicy"],
+        epoch_length: int,
+    ) -> None:
+        self.core_id = core_id
+        self.trace = trace
+        self.hierarchy = hierarchy
+        self.policy = policy
+        self.epoch_length = epoch_length
+        self.core = CoreModel(hierarchy.params.core)
+        self.index = 0
+        self.retired = 0
+        self.warmup_instructions = 0
+        self.measure_start_cycles = 0.0
+        self._warmed = False
+        self._epoch_snapshot = hierarchy.stats.snapshot()
+        self._epoch_cycles = 0.0
+        self._epoch_busy = hierarchy.dram.busy_cycles
+        self._epoch_kinds = dict(hierarchy.dram.requests_by_kind)
+        self._epoch_index = 0
+        if policy is not None:
+            policy.attach(hierarchy)
+
+    def done(self, limit: int) -> bool:
+        return self.retired >= limit
+
+    def step(self) -> None:
+        """Execute one instruction (replaying the trace as needed)."""
+        trace = self.trace
+        i = self.index % len(trace)
+        f = trace.flags[i]
+        hierarchy = self.hierarchy
+        core = self.core
+        stats = hierarchy.stats
+        if f & FLAG_LOAD:
+            issue = core.begin(dependent_load=bool(f & FLAG_DEP))
+            result = hierarchy.load(int(trace.pcs[i]), int(trace.addrs[i]), issue)
+            core.finish(latency=result.latency, is_load=True)
+            stats.loads += 1
+        elif f & FLAG_STORE:
+            issue = core.begin()
+            latency = hierarchy.store(int(trace.pcs[i]), int(trace.addrs[i]), issue)
+            core.finish(latency=latency)
+            stats.stores += 1
+        elif f & FLAG_BRANCH:
+            mispred = bool(f & FLAG_MISPRED)
+            core.step(latency=1.0, mispredicted_branch=mispred)
+            stats.branches += 1
+            if mispred:
+                stats.mispredicted_branches += 1
+        else:
+            core.step()
+        stats.instructions += 1
+        self.index += 1
+        self.retired += 1
+        if not self._warmed and self.retired >= self.warmup_instructions:
+            # End of this core's warm-up: caches and predictors stay warm,
+            # measured statistics restart (paper §6.1 methodology).
+            self._warmed = True
+            self.measure_start_cycles = core.cycles
+            Simulator._reset_measured_stats(stats)
+            self._epoch_snapshot = stats.snapshot()
+            self._epoch_cycles = core.cycles
+            self._epoch_busy = hierarchy.dram.busy_cycles
+            self._epoch_kinds = dict(hierarchy.dram.requests_by_kind)
+        if self.policy is not None and self.retired % self.epoch_length == 0:
+            self._end_epoch()
+
+    def _end_epoch(self) -> None:
+        hierarchy = self.hierarchy
+        sim = Simulator.__new__(Simulator)  # reuse telemetry construction
+        sim.hierarchy = hierarchy
+        telemetry = sim._build_telemetry(
+            self._epoch_index,
+            hierarchy.stats,
+            self._epoch_snapshot,
+            self.core.cycles - self._epoch_cycles,
+            hierarchy.dram.busy_cycles - self._epoch_busy,
+            self._epoch_kinds,
+        )
+        action = self.policy.decide(telemetry)
+        hierarchy.set_prefetchers_enabled(action.prefetchers_enabled)
+        hierarchy.set_ocp_enabled(action.ocp_enabled)
+        hierarchy.set_degree_fraction(action.degree_fraction)
+        self._epoch_index += 1
+        self._epoch_snapshot = hierarchy.stats.snapshot()
+        self._epoch_cycles = self.core.cycles
+        self._epoch_busy = hierarchy.dram.busy_cycles
+        self._epoch_kinds = dict(hierarchy.dram.requests_by_kind)
+
+
+class MultiCoreSimulator:
+    """Run N workloads on N cores with shared LLC + DRAM."""
+
+    def __init__(
+        self,
+        traces: Sequence[Trace],
+        params: SystemParams,
+        hierarchy_factory,
+        policy_factory,
+        instructions_per_core: int,
+        epoch_length: int = 250,
+        warmup_fraction: float = 0.0,
+    ) -> None:
+        """``hierarchy_factory(params, llc, dram)`` builds one core's
+        private hierarchy (with its prefetchers/OCP) around the shared LLC
+        and DRAM; ``policy_factory()`` builds one per-core policy instance
+        (or returns ``None`` for uncoordinated runs)."""
+        if not traces:
+            raise ValueError("need at least one trace")
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise ValueError("warmup_fraction must be in [0, 1)")
+        self.params = params
+        self.shared_llc = Cache(params.llc)
+        self.shared_dram = MainMemory(params.dram)
+        self.instructions_per_core = instructions_per_core
+        self.contexts: List[_CoreContext] = []
+        for core_id, trace in enumerate(traces):
+            hierarchy = hierarchy_factory(
+                params, self.shared_llc, self.shared_dram
+            )
+            context = _CoreContext(
+                core_id=core_id,
+                trace=trace,
+                hierarchy=hierarchy,
+                policy=policy_factory(),
+                epoch_length=epoch_length,
+            )
+            context.warmup_instructions = int(
+                instructions_per_core * warmup_fraction
+            )
+            context._warmed = context.warmup_instructions == 0
+            self.contexts.append(context)
+
+    def run(self) -> MultiCoreResult:
+        limit = self.instructions_per_core
+        heap = [(0.0, ctx.core_id) for ctx in self.contexts]
+        heapq.heapify(heap)
+        while heap:
+            _, core_id = heapq.heappop(heap)
+            ctx = self.contexts[core_id]
+            if ctx.done(limit):
+                continue
+            ctx.step()
+            if not ctx.done(limit):
+                heapq.heappush(heap, (ctx.core.cycles, core_id))
+        result = MultiCoreResult()
+        for ctx in self.contexts:
+            measured_cycles = ctx.core.cycles - ctx.measure_start_cycles
+            ctx.hierarchy.stats.cycles = measured_cycles
+            result.cores.append(
+                CoreResult(
+                    workload=ctx.trace.name,
+                    instructions=ctx.retired - ctx.warmup_instructions,
+                    cycles=measured_cycles,
+                    stats=ctx.hierarchy.stats,
+                )
+            )
+        return result

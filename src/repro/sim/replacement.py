@@ -1,0 +1,125 @@
+"""Cache replacement policies: LRU (L1/L2) and SHiP (LLC, paper Table 5).
+
+SHiP [Wu+, MICRO'11] predicts re-reference behaviour per program-counter
+signature.  We implement SHiP-PC over an RRIP backbone, which is the
+configuration ChampSim ships and the paper cites for its LLC.
+"""
+
+from __future__ import annotations
+
+import abc
+
+
+class ReplacementPolicy(abc.ABC):
+    """Per-cache-instance replacement state machine.
+
+    The cache calls :meth:`on_fill` / :meth:`on_hit` / :meth:`victim`.  All
+    methods address a block by ``(set_index, way)``.
+    """
+
+    def __init__(self, num_sets: int, ways: int) -> None:
+        self.num_sets = num_sets
+        self.ways = ways
+
+    @abc.abstractmethod
+    def on_hit(self, set_index: int, way: int, pc: int) -> None:
+        ...
+
+    @abc.abstractmethod
+    def on_fill(self, set_index: int, way: int, pc: int, is_prefetch: bool) -> None:
+        ...
+
+    @abc.abstractmethod
+    def victim(self, set_index: int) -> int:
+        """Pick the way to evict from a full set."""
+
+    def on_eviction(self, set_index: int, way: int, was_reused: bool,
+                    fill_pc: int) -> None:
+        """Optional feedback hook (used by SHiP's SHCT training)."""
+
+
+class LruPolicy(ReplacementPolicy):
+    """Classic least-recently-used stacks, one per set."""
+
+    def __init__(self, num_sets: int, ways: int) -> None:
+        super().__init__(num_sets, ways)
+        self._clock = 0
+        self._timestamp = [[0] * ways for _ in range(num_sets)]
+
+    def _touch(self, set_index: int, way: int) -> None:
+        self._clock += 1
+        self._timestamp[set_index][way] = self._clock
+
+    def on_hit(self, set_index: int, way: int, pc: int) -> None:
+        self._touch(set_index, way)
+
+    def on_fill(self, set_index: int, way: int, pc: int, is_prefetch: bool) -> None:
+        self._touch(set_index, way)
+
+    def victim(self, set_index: int) -> int:
+        stamps = self._timestamp[set_index]
+        return min(range(self.ways), key=stamps.__getitem__)
+
+
+class ShipPolicy(ReplacementPolicy):
+    """SHiP-PC: signature-based hit prediction over 2-bit RRIP.
+
+    A Signature History Counter Table (SHCT) of saturating counters learns,
+    per PC signature, whether blocks inserted by that PC are re-referenced.
+    Blocks from "no-reuse" signatures are inserted at distant re-reference
+    interval so they are evicted quickly; everything else at intermediate.
+    """
+
+    RRPV_MAX = 3
+    SHCT_BITS = 3
+    SHCT_SIZE = 16384
+
+    def __init__(self, num_sets: int, ways: int) -> None:
+        super().__init__(num_sets, ways)
+        self._rrpv = [[self.RRPV_MAX] * ways for _ in range(num_sets)]
+        self._shct = [1] * self.SHCT_SIZE
+        self._sig = [[0] * ways for _ in range(num_sets)]
+
+    @classmethod
+    def _signature(cls, pc: int) -> int:
+        return (pc ^ (pc >> 14) ^ (pc >> 28)) % cls.SHCT_SIZE
+
+    def on_hit(self, set_index: int, way: int, pc: int) -> None:
+        self._rrpv[set_index][way] = 0
+
+    def on_fill(self, set_index: int, way: int, pc: int, is_prefetch: bool) -> None:
+        sig = self._signature(pc)
+        self._sig[set_index][way] = sig
+        predicted_reuse = self._shct[sig] > 0
+        if is_prefetch or not predicted_reuse:
+            self._rrpv[set_index][way] = self.RRPV_MAX - 1
+        else:
+            self._rrpv[set_index][way] = 1
+
+    def victim(self, set_index: int) -> int:
+        rrpvs = self._rrpv[set_index]
+        while True:
+            for way in range(self.ways):
+                if rrpvs[way] >= self.RRPV_MAX:
+                    return way
+            for way in range(self.ways):
+                rrpvs[way] += 1
+
+    def on_eviction(self, set_index: int, way: int, was_reused: bool,
+                    fill_pc: int) -> None:
+        sig = self._sig[set_index][way]
+        limit = (1 << self.SHCT_BITS) - 1
+        if was_reused:
+            self._shct[sig] = min(limit, self._shct[sig] + 1)
+        else:
+            self._shct[sig] = max(0, self._shct[sig] - 1)
+
+
+def make_replacement(kind: str, num_sets: int, ways: int) -> ReplacementPolicy:
+    """Factory keyed by the ``CacheParams.replacement`` string."""
+    kind = kind.lower()
+    if kind == "lru":
+        return LruPolicy(num_sets, ways)
+    if kind == "ship":
+        return ShipPolicy(num_sets, ways)
+    raise ValueError(f"unknown replacement policy {kind!r}")

@@ -1,0 +1,236 @@
+"""Single-core trace-driven simulator with epoch-granularity coordination.
+
+Drives one :class:`~repro.workloads.trace.Trace` through a
+:class:`~repro.sim.hierarchy.CacheHierarchy` using the analytical core
+timing model.  Every ``epoch_length`` retired instructions the simulator
+snapshots the epoch's telemetry (paper Table 1 features + Table 2 reward
+metrics) and asks the coordination policy for the next epoch's action —
+this is Athena's agent-environment loop (paper Figure 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # imported lazily to avoid a sim <-> policies cycle
+    from ..policies.base import CoordinationAction, CoordinationPolicy
+
+from ..workloads.trace import (
+    FLAG_BRANCH,
+    FLAG_DEP,
+    FLAG_LOAD,
+    FLAG_MISPRED,
+    FLAG_STORE,
+    Trace,
+)
+from .cpu import CoreModel
+from .hierarchy import CacheHierarchy
+from .stats import EpochTelemetry, SimStats
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation run."""
+
+    workload: str
+    stats: SimStats
+    instructions: int
+    cycles: float
+    epochs: List[EpochTelemetry] = field(default_factory=list)
+    actions: List["CoordinationAction"] = field(default_factory=list)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def action_distribution(self) -> dict:
+        """Fraction of epochs spent in each (prefetchers, ocp) combination.
+
+        This is the statistic behind the paper's Figure 17 case study.
+        """
+        counts: dict = {}
+        for action in self.actions:
+            key = (action.prefetchers_enabled, action.ocp_enabled)
+            counts[key] = counts.get(key, 0) + 1
+        total = max(1, len(self.actions))
+        return {k: v / total for k, v in counts.items()}
+
+
+class Simulator:
+    """Runs one workload on one core."""
+
+    def __init__(
+        self,
+        trace: Trace,
+        hierarchy: CacheHierarchy,
+        policy: Optional["CoordinationPolicy"] = None,
+        epoch_length: int = 250,
+        warmup_fraction: float = 0.2,
+    ) -> None:
+        if epoch_length <= 0:
+            raise ValueError("epoch_length must be positive")
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise ValueError("warmup_fraction must be in [0, 1)")
+        self.trace = trace
+        self.hierarchy = hierarchy
+        self.policy = policy
+        self.epoch_length = epoch_length
+        self.warmup_fraction = warmup_fraction
+        self.core = CoreModel(hierarchy.params.core)
+        if policy is not None:
+            policy.attach(hierarchy)
+
+    def run(self) -> SimulationResult:
+        trace = self.trace
+        hierarchy = self.hierarchy
+        core = self.core
+        stats = hierarchy.stats
+        policy = self.policy
+        epoch_len = self.epoch_length
+
+        pcs = trace.pcs
+        addrs = trace.addrs
+        flags = trace.flags
+        n = len(trace)
+        warmup_end = int(n * self.warmup_fraction)
+
+        epochs: List[EpochTelemetry] = []
+        actions: List["CoordinationAction"] = []
+        epoch_index = 0
+        epoch_start_snapshot = stats.snapshot()
+        epoch_start_cycles = 0.0
+        epoch_start_busy = hierarchy.dram.busy_cycles
+        epoch_start_kinds = dict(hierarchy.dram.requests_by_kind)
+
+        warmup_stats_reset_done = warmup_end == 0
+        measure_start_cycles = 0.0
+
+        for i in range(n):
+            f = flags[i]
+            if f & FLAG_LOAD:
+                issue = core.begin(dependent_load=bool(f & FLAG_DEP))
+                result = hierarchy.load(int(pcs[i]), int(addrs[i]), issue)
+                core.finish(latency=result.latency, is_load=True)
+                stats.loads += 1
+            elif f & FLAG_STORE:
+                issue = core.begin()
+                latency = hierarchy.store(int(pcs[i]), int(addrs[i]), issue)
+                core.finish(latency=latency)
+                stats.stores += 1
+            elif f & FLAG_BRANCH:
+                mispred = bool(f & FLAG_MISPRED)
+                core.step(latency=1.0, mispredicted_branch=mispred)
+                stats.branches += 1
+                if mispred:
+                    stats.mispredicted_branches += 1
+            else:
+                core.step()
+            stats.instructions += 1
+
+            if not warmup_stats_reset_done and stats.instructions >= warmup_end:
+                # End of warm-up: caches and predictors stay warm, but the
+                # reported statistics start here (paper §6.1 methodology).
+                measure_start_cycles = core.cycles
+                self._reset_measured_stats(stats)
+                warmup_stats_reset_done = True
+                epoch_start_snapshot = stats.snapshot()
+                epoch_start_cycles = core.cycles
+                epoch_start_busy = hierarchy.dram.busy_cycles
+                epoch_start_kinds = dict(hierarchy.dram.requests_by_kind)
+
+            if policy is not None and stats.instructions % epoch_len == 0:
+                telemetry = self._build_telemetry(
+                    epoch_index,
+                    stats,
+                    epoch_start_snapshot,
+                    core.cycles - epoch_start_cycles,
+                    hierarchy.dram.busy_cycles - epoch_start_busy,
+                    epoch_start_kinds,
+                )
+                action = policy.decide(telemetry)
+                self._apply_action(action)
+                epochs.append(telemetry)
+                actions.append(action)
+                epoch_index += 1
+                epoch_start_snapshot = stats.snapshot()
+                epoch_start_cycles = core.cycles
+                epoch_start_busy = hierarchy.dram.busy_cycles
+                epoch_start_kinds = dict(hierarchy.dram.requests_by_kind)
+
+        measured_cycles = core.cycles - measure_start_cycles
+        stats.cycles = measured_cycles
+        return SimulationResult(
+            workload=trace.name,
+            stats=stats,
+            instructions=stats.instructions,
+            cycles=measured_cycles,
+            epochs=epochs,
+            actions=actions,
+        )
+
+    # ------------------------------------------------------------------ helpers
+
+    @staticmethod
+    def _reset_measured_stats(stats: SimStats) -> None:
+        preserved_instructions = 0  # measurement restarts from zero
+        fresh = SimStats()
+        for name in vars(fresh):
+            setattr(stats, name, getattr(fresh, name))
+        stats.instructions = preserved_instructions
+
+    def _build_telemetry(
+        self,
+        epoch_index: int,
+        stats: SimStats,
+        start: SimStats,
+        cycles: float,
+        busy_cycles: float,
+        start_kinds: dict,
+    ) -> EpochTelemetry:
+        delta = stats.delta_from(start)
+        kinds = hierarchy_kind_delta(self.hierarchy, start_kinds)
+        total_dram = max(1, sum(kinds.values()))
+        pf_acc = (
+            delta.prefetches_useful / delta.prefetches_issued
+            if delta.prefetches_issued
+            else 0.0
+        )
+        ocp_acc = (
+            delta.ocp_correct / delta.ocp_predictions
+            if delta.ocp_predictions
+            else 0.0
+        )
+        demand_misses = max(1, delta.llc_misses)
+        return EpochTelemetry(
+            epoch_index=epoch_index,
+            instructions=delta.instructions,
+            cycles=cycles,
+            loads=delta.loads,
+            mispredicted_branches=delta.mispredicted_branches,
+            llc_misses=delta.llc_misses,
+            llc_miss_latency_sum=delta.llc_miss_latency_sum,
+            prefetcher_accuracy=min(1.0, pf_acc),
+            ocp_accuracy=min(1.0, ocp_acc),
+            bandwidth_usage=min(1.0, busy_cycles / cycles) if cycles else 0.0,
+            cache_pollution=min(1.0, delta.pollution_misses / demand_misses),
+            prefetch_bandwidth_share=kinds.get("prefetch", 0) / total_dram,
+            ocp_bandwidth_share=kinds.get("ocp", 0) / total_dram,
+            demand_bandwidth_share=kinds.get("demand", 0) / total_dram,
+            prefetches_issued=delta.prefetches_issued,
+            ocp_predictions=delta.ocp_predictions,
+            dram_requests=sum(kinds.values()),
+        )
+
+    def _apply_action(self, action: "CoordinationAction") -> None:
+        self.hierarchy.set_prefetchers_enabled(action.prefetchers_enabled)
+        self.hierarchy.set_ocp_enabled(action.ocp_enabled)
+        self.hierarchy.set_degree_fraction(action.degree_fraction)
+
+
+def hierarchy_kind_delta(hierarchy: CacheHierarchy, start_kinds: dict) -> dict:
+    """Per-kind DRAM request counts accumulated since ``start_kinds``."""
+    return {
+        kind: count - start_kinds.get(kind, 0)
+        for kind, count in hierarchy.dram.requests_by_kind.items()
+    }

@@ -1,0 +1,34 @@
+"""Synthetic workload substrate (traces, generators, suite registry)."""
+
+from .suites import (
+    GOOGLE_CATEGORIES,
+    SCALES,
+    ReproScale,
+    WorkloadSpec,
+    active_scale,
+    build_trace,
+    evaluation_workloads,
+    find_workload,
+    google_workloads,
+    representative_subset,
+    tuning_workloads,
+    workloads_by_suite,
+)
+from .trace import Trace, TraceBuilder
+
+__all__ = [
+    "GOOGLE_CATEGORIES",
+    "ReproScale",
+    "SCALES",
+    "Trace",
+    "TraceBuilder",
+    "WorkloadSpec",
+    "active_scale",
+    "build_trace",
+    "evaluation_workloads",
+    "find_workload",
+    "google_workloads",
+    "representative_subset",
+    "tuning_workloads",
+    "workloads_by_suite",
+]

@@ -1,0 +1,540 @@
+"""Synthetic memory-access pattern generators.
+
+These stand in for the paper's 100 SPEC / PARSEC / Ligra / CVP traces (see
+DESIGN.md, substitution table).  Each generator emits an instruction
+stream with a characteristic access pattern; suites compose them into
+workloads that land in the paper's two behavioural classes:
+
+* *prefetcher-friendly*: regular spatial patterns (streams, strides,
+  stencils) that address-predicting prefetchers cover well;
+* *prefetcher-adverse*: irregular patterns (pointer chasing, hash probes,
+  graph neighbour walks) where full-address prediction fails but the
+  binary off-chip/on-chip question stays highly predictable — the
+  dichotomy behind paper Figure 1.
+
+All generators draw from a caller-provided ``random.Random`` so workloads
+are fully deterministic given their registry seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict
+
+from .trace import LINE_SHIFT, Trace, TraceBuilder
+
+#: distinct PC regions per pattern so PC-indexed predictors can separate them
+_PC_STRIDE = 0x40
+
+
+def _pc(block: int, slot: int = 0) -> int:
+    return 0x400000 + block * 0x10000 + slot * _PC_STRIDE
+
+
+def _line_to_addr(line: int, offset: int = 0) -> int:
+    return (line << LINE_SHIFT) | (offset & 0x3F)
+
+
+def _filler(
+    builder: TraceBuilder,
+    rng: random.Random,
+    count: int,
+    pc_block: int,
+    mispredict_rate: float,
+) -> None:
+    """Emit ``count`` non-memory instructions (ALU work + branches)."""
+    for _ in range(count):
+        if rng.random() < 0.15:
+            builder.branch(
+                _pc(pc_block, 9), mispredicted=rng.random() < mispredict_rate
+            )
+        else:
+            builder.nop(_pc(pc_block, 8))
+
+
+# --------------------------------------------------------------------------
+# pattern emitters
+# --------------------------------------------------------------------------
+
+def emit_stream(
+    builder: TraceBuilder,
+    rng: random.Random,
+    instructions: int,
+    base_line: int,
+    pc_block: int,
+    stride: int = 1,
+    gap: int = 2,
+    mispredict_rate: float = 0.002,
+    store_every: int = 0,
+    elements_per_line: int = 8,
+    array_lines: int = 0,
+    dep_every_lines: int = 4,
+) -> None:
+    """Sequential/strided node scan: the canonical prefetcher-friendly
+    pattern.
+
+    Loads walk 8-byte elements; each cacheline serves ``elements_per_line``
+    consecutive loads.  Every ``dep_every_lines``-th line advance is
+    *address-dependent* on the previous line's data (a sequentially
+    laid-out linked structure whose node spans several lines), which makes
+    the pattern partially latency-bound without prefetching: the periodic
+    dependent advance caps the memory-level parallelism the out-of-order
+    window can extract, and an accurate prefetcher collapses those chains
+    into cache hits.  The period bounds the prefetcher's upside to the
+    paper's observed range (friendly-workload speedups of roughly
+    1.1-1.7x) instead of the unbounded win a fully-serialised stream
+    would show.
+
+    ``array_lines`` > 0 wraps the sweep so the array becomes LLC-resident
+    after the first pass (prefetching then hides on-chip latency without
+    extra DRAM traffic); 0 streams endlessly through cold memory.
+    """
+    line = base_line
+    swept = 0
+    emitted = 0
+    i = 0
+    lines_advanced = 0
+    while emitted < instructions:
+        element = i % elements_per_line
+        dependent = (
+            element == 0 and lines_advanced % max(1, dep_every_lines) == 0
+        )
+        builder.load(
+            _pc(pc_block, 0),
+            _line_to_addr(line, element * 8),
+            dependent=dependent,
+        )
+        emitted += 1
+        if store_every and i % store_every == store_every - 1:
+            builder.store(_pc(pc_block, 1), _line_to_addr(line, 8))
+            emitted += 1
+        fill = min(gap, instructions - emitted)
+        _filler(builder, rng, fill, pc_block, mispredict_rate)
+        emitted += fill
+        if element == elements_per_line - 1:
+            line += stride
+            swept += stride
+            lines_advanced += 1
+            if array_lines and swept >= array_lines:
+                line = base_line
+                swept = 0
+        i += 1
+
+
+def emit_stencil(
+    builder: TraceBuilder,
+    rng: random.Random,
+    instructions: int,
+    base_line: int,
+    pc_block: int,
+    arrays: int = 3,
+    array_gap_lines: int = 1 << 16,
+    mispredict_rate: float = 0.001,
+    elements_per_line: int = 8,
+) -> None:
+    """Multiple concurrent unit-stride streams (a[i] = b[i] op c[i])."""
+    emitted = 0
+    i = 0
+    while emitted < instructions:
+        line_index = i // elements_per_line
+        element = i % elements_per_line
+        for a in range(arrays):
+            if emitted >= instructions:
+                break
+            line = base_line + a * array_gap_lines + line_index
+            if a == arrays - 1:
+                builder.store(_pc(pc_block, a), _line_to_addr(line, element * 8))
+            else:
+                builder.load(_pc(pc_block, a), _line_to_addr(line, element * 8))
+            emitted += 1
+        fill = min(3, instructions - emitted)
+        _filler(builder, rng, fill, pc_block, mispredict_rate)
+        emitted += fill
+        i += 1
+
+
+def emit_pointer_chase(
+    builder: TraceBuilder,
+    rng: random.Random,
+    instructions: int,
+    base_line: int,
+    working_set_lines: int,
+    pc_block: int,
+    gap: int = 8,
+    mispredict_rate: float = 0.02,
+    decoy_rate: float = 0.3,
+) -> None:
+    """Dependent random walk: prefetcher-adverse, highly off-chip.
+
+    Every load's address comes from the previous load's data (FLAG_DEP),
+    so misses serialise — the linked-list traversal of mcf/omnetpp/canneal.
+    With the working set far exceeding the LLC, nearly every access goes
+    off-chip, which is exactly the regime where an OCP shines.
+
+    ``decoy_rate`` controls how often a node visit spills into a short
+    sequential-line burst (reading the node's payload across adjacent
+    lines).  Real irregular workloads are full of such transient runs;
+    they bait stride/delta prefetchers into gaining confidence and then
+    spraying useless prefetch degree past the end of the run — the
+    mechanism behind the paper's prefetcher-adverse degradation.
+    """
+    # Sattolo's algorithm: a uniformly random single-cycle permutation,
+    # i.e. a genuine linked list threaded randomly through the working
+    # set.  (A multiplicative LCG walk degenerates into tiny same-set
+    # cycles for power-of-two working sets — a conflict-thrash
+    # microbenchmark, not a pointer chase.)
+    perm = list(range(working_set_lines))
+    for i in range(working_set_lines - 1, 0, -1):
+        j = rng.randrange(i)
+        perm[i], perm[j] = perm[j], perm[i]
+    state = rng.randrange(working_set_lines)
+    emitted = 0
+    while emitted < instructions:
+        line = base_line + state
+        builder.load(_pc(pc_block, 0), _line_to_addr(line), dependent=True)
+        emitted += 1
+        if decoy_rate and rng.random() < decoy_rate:
+            # Payload spill: a 4-line sequential run from one dedicated PC.
+            for step in range(1, 5):
+                if emitted >= instructions:
+                    break
+                builder.load(_pc(pc_block, 2), _line_to_addr(line + step))
+                emitted += 1
+        fill = min(gap, instructions - emitted)
+        _filler(builder, rng, fill, pc_block, mispredict_rate)
+        emitted += fill
+        state = perm[state]
+
+
+def emit_hash_probe(
+    builder: TraceBuilder,
+    rng: random.Random,
+    instructions: int,
+    base_line: int,
+    working_set_lines: int,
+    pc_block: int,
+    locality: float = 0.1,
+    gap: int = 8,
+    mispredict_rate: float = 0.015,
+    chain_length: int = 2,
+    decoy_rate: float = 0.25,
+) -> None:
+    """Random hash probes with dependent bucket chains (xalancbmk-like).
+
+    Each probe lands on a random bucket; collisions walk a short *dependent*
+    chain (``chain_length`` loads whose addresses come from the previous
+    load).  The mix leaves the pattern unprefetchable (random addresses) but
+    partially latency-bound (dependent chains), which is exactly the regime
+    where an accurate off-chip predictor wins and a prefetcher only burns
+    bandwidth — the paper's prefetcher-adverse class.
+    """
+    hot_lines = max(8, int(working_set_lines * 0.01))
+    emitted = 0
+    while emitted < instructions:
+        if rng.random() < locality:
+            # Hot-set probes come from their own PC (the fast path that
+            # touches resident metadata), as in real hash-table code; a
+            # PC-indexed off-chip predictor can then separate the always-
+            # resident hot path from the always-missing cold probes.
+            line = base_line + rng.randrange(hot_lines)
+            builder.load(_pc(pc_block, 5), _line_to_addr(line))
+        else:
+            line = base_line + rng.randrange(working_set_lines)
+            builder.load(_pc(pc_block, 0), _line_to_addr(line))
+        emitted += 1
+        for hop in range(chain_length):
+            if emitted >= instructions:
+                break
+            line = base_line + (line * 2654435761 + hop) % working_set_lines
+            builder.load(_pc(pc_block, 1), _line_to_addr(line), dependent=True)
+            emitted += 1
+            fill = min(3, instructions - emitted)
+            _filler(builder, rng, fill, pc_block, mispredict_rate)
+            emitted += fill
+        if decoy_rate and rng.random() < decoy_rate:
+            # Bucket scan: a short sequential sweep over the bucket's
+            # neighbouring lines (open addressing / key comparison walk)
+            # that trains stride predictors just long enough to misfire.
+            for step in range(1, 5):
+                if emitted >= instructions:
+                    break
+                builder.load(_pc(pc_block, 3), _line_to_addr(line + step))
+                emitted += 1
+        fill = min(gap, instructions - emitted)
+        _filler(builder, rng, fill, pc_block, mispredict_rate)
+        emitted += fill
+
+
+def emit_graph_walk(
+    builder: TraceBuilder,
+    rng: random.Random,
+    instructions: int,
+    base_line: int,
+    num_vertices_lines: int,
+    pc_block: int,
+    neighbors_per_vertex: int = 4,
+    mispredict_rate: float = 0.01,
+    gap: int = 3,
+    clustering: float = 0.3,
+) -> None:
+    """Frontier-driven graph processing (Ligra BFS/PageRank shape).
+
+    Alternates a sequential frontier/offset scan (friendly) with bursts of
+    random vertex-data accesses (adverse); the blend is what makes graph
+    workloads partially prefetchable.
+    """
+    frontier_line = base_line
+    vertex_base = base_line + (1 << 20)
+    emitted = 0
+    step = 0
+    while emitted < instructions:
+        builder.load(
+            _pc(pc_block, 0), _line_to_addr(frontier_line, (step * 8) & 0x3F)
+        )
+        emitted += 1
+        if step % 8 == 7:
+            frontier_line += 1
+        step += 1
+        hot_vertices = max(16, num_vertices_lines // 64)
+        for _ in range(neighbors_per_vertex):
+            if emitted >= instructions:
+                break
+            # Power-law-ish degree distribution: popular vertices stay hot
+            # in the cache, the long tail goes off-chip.
+            if rng.random() < clustering:
+                target = vertex_base + rng.randrange(hot_vertices)
+            else:
+                target = vertex_base + rng.randrange(num_vertices_lines)
+            builder.load(_pc(pc_block, 1), _line_to_addr(target),
+                         dependent=rng.random() < 0.4)
+            emitted += 1
+            fill = min(gap, instructions - emitted)
+            _filler(builder, rng, fill, pc_block, mispredict_rate)
+            emitted += fill
+        fill = min(gap, instructions - emitted)
+        _filler(builder, rng, fill, pc_block, mispredict_rate)
+        emitted += fill
+
+
+def emit_gups(
+    builder: TraceBuilder,
+    rng: random.Random,
+    instructions: int,
+    base_line: int,
+    working_set_lines: int,
+    pc_block: int,
+    mispredict_rate: float = 0.005,
+) -> None:
+    """Random read-modify-write updates (GUPS / streamcluster-like)."""
+    emitted = 0
+    while emitted < instructions:
+        line = base_line + rng.randrange(working_set_lines)
+        builder.load(_pc(pc_block, 0), _line_to_addr(line))
+        emitted += 1
+        if emitted < instructions:
+            builder.store(_pc(pc_block, 1), _line_to_addr(line, 8))
+            emitted += 1
+        fill = min(8, instructions - emitted)
+        _filler(builder, rng, fill, pc_block, mispredict_rate)
+        emitted += fill
+
+
+def emit_compute(
+    builder: TraceBuilder,
+    rng: random.Random,
+    instructions: int,
+    base_line: int,
+    pc_block: int,
+    memory_ratio: float = 0.08,
+    working_set_lines: int = 4096,
+    mispredict_rate: float = 0.04,
+    streaming_fraction: float = 0.5,
+) -> None:
+    """Compute-dominated phases with occasional memory bursts (CVP-like).
+
+    The streaming component walks 8-byte elements of a sequentially-linked
+    structure (periodic dependent line advance, like :func:`emit_stream`);
+    the irregular component probes a random working set.
+    """
+    stream_line = base_line
+    element = 0
+    emitted = 0
+    lines_advanced = 0
+    while emitted < instructions:
+        if rng.random() < memory_ratio:
+            if rng.random() < streaming_fraction:
+                # Same software-pipelined dependence as emit_stream: one
+                # dependent advance every fourth line bounds the
+                # prefetcher's upside on the streaming component.
+                dependent = element == 0 and lines_advanced % 4 == 0
+                builder.load(
+                    _pc(pc_block, 0),
+                    _line_to_addr(stream_line, element * 8),
+                    dependent=dependent,
+                )
+                element += 1
+                if element == 8:
+                    element = 0
+                    stream_line += 1
+                    lines_advanced += 1
+            else:
+                line = base_line + (1 << 20) + rng.randrange(working_set_lines)
+                builder.load(_pc(pc_block, 1), _line_to_addr(line))
+            emitted += 1
+        else:
+            _filler(builder, rng, 1, pc_block, mispredict_rate)
+            emitted += 1
+
+
+# --------------------------------------------------------------------------
+# whole-workload generators (phase composition)
+# --------------------------------------------------------------------------
+
+PatternFn = Callable[[TraceBuilder, random.Random, int, dict], None]
+
+
+def _compose(
+    name: str,
+    suite: str,
+    seed: int,
+    length: int,
+    phases,
+) -> Trace:
+    """Run each (weight, emit_fn, kwargs) phase for its share of ``length``."""
+    rng = random.Random(seed)
+    builder = TraceBuilder(name, suite)
+    total_weight = sum(weight for weight, _, _ in phases)
+    for weight, emit, kwargs in phases:
+        budget = int(length * weight / total_weight)
+        if budget > 0:
+            emit(builder, rng, budget, **kwargs)
+    # Emitters may land a few instructions off their budget (a burst or a
+    # store straddling the boundary); deliver the exact requested length.
+    if len(builder) < length:
+        _filler(builder, rng, length - len(builder), pc_block=0,
+                mispredict_rate=0.0)
+    trace = builder.build(metadata={"seed": seed, "length": length})
+    if len(trace) > length:
+        trace = trace.slice(0, length)
+    return trace
+
+
+def make_streaming_workload(name, suite, seed, length, stride=1) -> Trace:
+    return _compose(name, suite, seed, length, [
+        (1.0, emit_stream,
+         dict(base_line=seed % 1000 << 12, pc_block=1, stride=stride,
+              store_every=8)),
+    ])
+
+
+def make_stencil_workload(name, suite, seed, length) -> Trace:
+    return _compose(name, suite, seed, length, [
+        (1.0, emit_stencil, dict(base_line=(seed % 997) << 13, pc_block=2)),
+    ])
+
+
+def make_pointer_chase_workload(name, suite, seed, length,
+                                working_set_lines=1 << 14,
+                                decoy_rate=0.3) -> Trace:
+    return _compose(name, suite, seed, length, [
+        (1.0, emit_pointer_chase,
+         dict(base_line=(seed % 991) << 14, pc_block=3,
+              working_set_lines=working_set_lines,
+              decoy_rate=decoy_rate)),
+    ])
+
+
+def make_hash_probe_workload(name, suite, seed, length,
+                             working_set_lines=1 << 14,
+                             decoy_rate=0.25) -> Trace:
+    return _compose(name, suite, seed, length, [
+        (1.0, emit_hash_probe,
+         dict(base_line=(seed % 983) << 14, pc_block=4,
+              working_set_lines=working_set_lines,
+              decoy_rate=decoy_rate)),
+    ])
+
+
+def make_graph_workload(name, suite, seed, length,
+                        num_vertices_lines=1 << 14,
+                        neighbors_per_vertex=4) -> Trace:
+    return _compose(name, suite, seed, length, [
+        (1.0, emit_graph_walk,
+         dict(base_line=(seed % 977) << 14, pc_block=5,
+              num_vertices_lines=num_vertices_lines,
+              neighbors_per_vertex=neighbors_per_vertex)),
+    ])
+
+
+def make_gups_workload(name, suite, seed, length,
+                       working_set_lines=1 << 14) -> Trace:
+    return _compose(name, suite, seed, length, [
+        (1.0, emit_gups,
+         dict(base_line=(seed % 971) << 14, pc_block=6,
+              working_set_lines=working_set_lines)),
+    ])
+
+
+def make_compute_workload(name, suite, seed, length,
+                          memory_ratio=0.12,
+                          streaming_fraction=0.5,
+                          mispredict_rate=0.04,
+                          working_set_lines=2048) -> Trace:
+    return _compose(name, suite, seed, length, [
+        (1.0, emit_compute,
+         dict(base_line=(seed % 967) << 13, pc_block=7,
+              memory_ratio=memory_ratio,
+              streaming_fraction=streaming_fraction,
+              mispredict_rate=mispredict_rate,
+              working_set_lines=working_set_lines)),
+    ])
+
+
+def make_phased_workload(name, suite, seed, length,
+                         working_set_lines=1 << 14) -> Trace:
+    """Alternating friendly/adverse phases (gcc/astar-like)."""
+    base = (seed % 953) << 14
+    return _compose(name, suite, seed, length, [
+        (0.35, emit_stream, dict(base_line=base, pc_block=1, store_every=16)),
+        (0.2, emit_hash_probe,
+         dict(base_line=base + (1 << 21), pc_block=4,
+              working_set_lines=working_set_lines)),
+        (0.3, emit_stream,
+         dict(base_line=base + (1 << 22), pc_block=1, stride=2)),
+        (0.15, emit_pointer_chase,
+         dict(base_line=base + (1 << 23), pc_block=3,
+              working_set_lines=working_set_lines)),
+    ])
+
+
+def make_datacenter_workload(name, suite, seed, length,
+                             irregular_fraction=0.6) -> Trace:
+    """Google/DPC4-like: bursty irregular traffic + moderate streaming."""
+    base = (seed % 947) << 14
+    regular = max(0.05, 1.0 - irregular_fraction)
+    return _compose(name, suite, seed, length, [
+        (irregular_fraction * 0.6, emit_hash_probe,
+         dict(base_line=base, pc_block=4, working_set_lines=1 << 15,
+              locality=0.25)),
+        (irregular_fraction * 0.4, emit_pointer_chase,
+         dict(base_line=base + (1 << 22), pc_block=3,
+              working_set_lines=1 << 14, gap=5)),
+        (regular * 0.5, emit_stream,
+         dict(base_line=base + (1 << 23), pc_block=1, gap=4)),
+        (regular * 0.5, emit_compute,
+         dict(base_line=base + (1 << 24), pc_block=7, memory_ratio=0.10)),
+    ])
+
+
+#: generator registry keyed by pattern family name (used by the suites).
+GENERATORS: Dict[str, Callable[..., Trace]] = {
+    "streaming": make_streaming_workload,
+    "stencil": make_stencil_workload,
+    "pointer_chase": make_pointer_chase_workload,
+    "hash_probe": make_hash_probe_workload,
+    "graph": make_graph_workload,
+    "gups": make_gups_workload,
+    "compute": make_compute_workload,
+    "phased": make_phased_workload,
+    "datacenter": make_datacenter_workload,
+}

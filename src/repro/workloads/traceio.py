@@ -1,0 +1,97 @@
+"""Trace serialization: save/load traces as compressed ``.npz`` files.
+
+The synthetic suite is fully deterministic from its registry seeds, so
+on-disk traces are never *required*; this module exists for
+interoperability — exporting a generated trace for inspection, or
+importing an externally converted trace (e.g. one distilled from a
+ChampSim trace) into the simulator.
+
+Format: a NumPy ``.npz`` archive with arrays ``pcs``/``addrs``/``flags``
+plus a JSON-encoded header carrying the name, suite, format version and
+metadata.  The format is versioned so later revisions stay loadable.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Union
+
+import numpy as np
+
+from .trace import Trace
+
+#: bump when the on-disk layout changes incompatibly.
+FORMAT_VERSION = 1
+
+_HEADER_KEY = "header"
+PathLike = Union[str, pathlib.Path]
+
+
+class TraceFormatError(ValueError):
+    """Raised when a file is not a valid serialized trace."""
+
+
+def save_trace(trace: Trace, path: PathLike) -> pathlib.Path:
+    """Write ``trace`` to ``path`` (``.npz`` appended if missing)."""
+    path = pathlib.Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    header = {
+        "format_version": FORMAT_VERSION,
+        "name": trace.name,
+        "suite": trace.suite,
+        "metadata": trace.metadata,
+        "num_instructions": len(trace),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        pcs=trace.pcs,
+        addrs=trace.addrs,
+        flags=trace.flags,
+        **{_HEADER_KEY: np.frombuffer(
+            json.dumps(header).encode("utf-8"), dtype=np.uint8
+        )},
+    )
+    return path
+
+
+def load_trace(path: PathLike) -> Trace:
+    """Read a trace previously written by :func:`save_trace`."""
+    path = pathlib.Path(path)
+    try:
+        with np.load(path) as archive:
+            missing = {_HEADER_KEY, "pcs", "addrs", "flags"} - set(
+                archive.files
+            )
+            if missing:
+                raise TraceFormatError(
+                    f"{path}: missing arrays {sorted(missing)}"
+                )
+            header = json.loads(bytes(archive[_HEADER_KEY]).decode("utf-8"))
+            pcs = archive["pcs"]
+            addrs = archive["addrs"]
+            flags = archive["flags"]
+    except (OSError, ValueError) as exc:
+        if isinstance(exc, TraceFormatError):
+            raise
+        raise TraceFormatError(f"{path}: not a trace archive ({exc})") from exc
+
+    version = header.get("format_version")
+    if version != FORMAT_VERSION:
+        raise TraceFormatError(
+            f"{path}: format version {version!r}, expected {FORMAT_VERSION}"
+        )
+    if not (len(pcs) == len(addrs) == len(flags)):
+        raise TraceFormatError(f"{path}: array length mismatch")
+    if len(pcs) != header.get("num_instructions"):
+        raise TraceFormatError(f"{path}: header/array length mismatch")
+    return Trace(
+        name=header["name"],
+        suite=header["suite"],
+        pcs=pcs,
+        addrs=addrs,
+        flags=flags.astype(np.uint8),
+        metadata=header.get("metadata") or {},
+    )

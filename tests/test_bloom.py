@@ -1,0 +1,111 @@
+"""Tests for Athena's Bloom filter (paper §5.2 measurement hardware)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bloom import BloomFilter
+
+
+class TestConstruction:
+    def test_default_geometry_matches_table4(self):
+        bf = BloomFilter()
+        assert bf.num_bits == 4096
+        assert bf.num_hashes == 2
+        assert bf.storage_bits() == 4096
+
+    def test_rejects_nonpositive_bits(self):
+        with pytest.raises(ValueError):
+            BloomFilter(num_bits=0)
+
+    def test_rejects_zero_hashes(self):
+        with pytest.raises(ValueError):
+            BloomFilter(num_hashes=0)
+
+    def test_rejects_too_many_hashes(self):
+        with pytest.raises(ValueError):
+            BloomFilter(num_hashes=64)
+
+
+class TestMembership:
+    def test_empty_filter_reports_nothing(self):
+        bf = BloomFilter()
+        assert not bf.query(42)
+        assert 42 not in bf
+
+    def test_inserted_key_is_found(self):
+        bf = BloomFilter()
+        bf.insert(1234)
+        assert bf.query(1234)
+        assert 1234 in bf
+
+    def test_reset_clears_all(self):
+        bf = BloomFilter()
+        for key in range(100):
+            bf.insert(key)
+        bf.reset()
+        assert bf.approximate_count == 0
+        assert not any(bf.query(key) for key in range(100))
+
+    def test_count_tracks_inserts(self):
+        bf = BloomFilter()
+        for key in range(17):
+            bf.insert(key)
+        assert bf.approximate_count == 17
+
+    def test_duplicate_inserts_counted(self):
+        bf = BloomFilter()
+        bf.insert(7)
+        bf.insert(7)
+        assert bf.approximate_count == 2
+
+
+class TestFalsePositiveBehaviour:
+    def test_fpr_small_at_paper_sizing(self):
+        """Paper sizing: 4096 bits, 2 hashes, ~199 keys -> ~1% FPR."""
+        bf = BloomFilter(4096, 2)
+        inserted = set(range(0, 199 * 7, 7))
+        for key in inserted:
+            bf.insert(key)
+        probes = [k for k in range(100_000, 110_000) if k not in inserted]
+        false_positives = sum(1 for k in probes if bf.query(k))
+        assert false_positives / len(probes) < 0.03
+
+    def test_theoretical_fpr_monotone_in_count(self):
+        bf = BloomFilter(1024, 2)
+        rates = []
+        for key in range(0, 500, 50):
+            for k in range(key, key + 50):
+                bf.insert(k)
+            rates.append(bf.false_positive_rate())
+        assert rates == sorted(rates)
+
+    def test_saturation_increases_with_inserts(self):
+        bf = BloomFilter(256, 2)
+        assert bf.saturation() == 0.0
+        for key in range(64):
+            bf.insert(key)
+        assert 0.0 < bf.saturation() <= 1.0
+
+
+class TestPropertyBased:
+    @given(st.lists(st.integers(min_value=0, max_value=2**48), max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_no_false_negatives(self, keys):
+        bf = BloomFilter(2048, 2)
+        for key in keys:
+            bf.insert(key)
+        assert all(bf.query(key) for key in keys)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=2**32), max_size=50),
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_reset_restores_empty_state(self, keys, hashes):
+        bf = BloomFilter(512, hashes)
+        for key in keys:
+            bf.insert(key)
+        bf.reset()
+        assert bf.saturation() == 0.0
+        assert bf.false_positive_rate() == 0.0

@@ -1,0 +1,193 @@
+"""Tests for the set-associative cache model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.cache import Cache
+from repro.sim.params import CacheParams
+
+
+def small_cache(ways=2, sets=4, replacement="lru"):
+    return Cache(CacheParams(
+        name="T", size_bytes=64 * ways * sets, ways=ways,
+        latency=5, replacement=replacement,
+    ))
+
+
+class TestConstruction:
+    def test_rejects_non_power_of_two_sets(self):
+        params = CacheParams(name="bad", size_bytes=64 * 12, ways=4, latency=1)
+        with pytest.raises(ValueError):
+            Cache(params)
+
+    def test_geometry(self):
+        cache = small_cache(ways=2, sets=4)
+        assert cache.num_sets == 4
+        assert cache.ways == 2
+
+
+class TestLookupAndFill:
+    def test_miss_then_hit(self):
+        cache = small_cache()
+        assert cache.lookup(100) is None
+        cache.fill(100)
+        assert cache.lookup(100) is not None
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_probe_has_no_side_effects(self):
+        cache = small_cache()
+        cache.fill(100)
+        assert cache.probe(100)
+        assert not cache.probe(101)
+        assert cache.hits == 0
+        assert cache.misses == 0
+
+    def test_fill_existing_line_merges_dirty(self):
+        cache = small_cache()
+        cache.fill(100)
+        result = cache.fill(100, dirty=True)
+        assert result.evicted is None
+        line = cache.lookup(100, is_write=False)
+        assert line.dirty
+
+    def test_write_sets_dirty(self):
+        cache = small_cache()
+        cache.fill(100)
+        cache.lookup(100, is_write=True)
+        cache.fill(100)  # no-op
+        assert cache.lookup(100).dirty
+
+    def test_eviction_reports_victim_address(self):
+        cache = small_cache(ways=1, sets=1)
+        cache.fill(10)
+        result = cache.fill(20)
+        assert result.evicted is not None
+        assert result.evicted.line_addr == 10
+
+    def test_eviction_reports_dirty_flag(self):
+        cache = small_cache(ways=1, sets=1)
+        cache.fill(10, dirty=True)
+        result = cache.fill(20)
+        assert result.evicted.dirty
+
+    def test_eviction_for_prefetch_flagged(self):
+        cache = small_cache(ways=1, sets=1)
+        cache.fill(10)
+        result = cache.fill(20, is_prefetch=True)
+        assert result.evicted.evicted_for_prefetch
+
+    def test_prefetch_bit_cleared_on_hit(self):
+        cache = small_cache()
+        cache.fill(100, is_prefetch=True)
+        line = cache.lookup(100)
+        assert line.prefetched  # reported once...
+        line.prefetched = False
+        assert not cache.lookup(100).prefetched
+
+    def test_ready_time_stored_and_merged(self):
+        cache = small_cache()
+        cache.fill(100, ready_time=500.0)
+        assert cache.lookup(100).ready_time == 500.0
+        cache.fill(100, ready_time=100.0)
+        assert cache.lookup(100).ready_time == 100.0
+
+
+class TestLruReplacement:
+    def test_lru_evicts_least_recent(self):
+        cache = small_cache(ways=2, sets=1)
+        cache.fill(1)
+        cache.fill(2)
+        cache.lookup(1)     # 2 becomes LRU
+        result = cache.fill(3)
+        assert result.evicted.line_addr == 2
+
+    def test_invalid_ways_used_first(self):
+        cache = small_cache(ways=4, sets=1)
+        for line in range(4):
+            assert cache.fill(line).evicted is None
+        assert cache.fill(10).evicted is not None
+
+
+class TestShipReplacement:
+    def test_prefetch_fills_inserted_for_early_eviction(self):
+        """SHiP inserts prefetches at distant RRPV: a prefetch fill should
+        be evicted before a demanded-and-reused line."""
+        cache = small_cache(ways=2, sets=1, replacement="ship")
+        cache.fill(1, pc=0x10)
+        cache.lookup(1, pc=0x10)      # promote line 1 (reused)
+        cache.fill(2, pc=0x20, is_prefetch=True)
+        result = cache.fill(3, pc=0x30)
+        assert result.evicted.line_addr == 2
+
+    def test_ship_learns_no_reuse_signature(self):
+        cache = small_cache(ways=2, sets=1, replacement="ship")
+        bad_pc = 0x99
+        # Fill many never-reused lines from bad_pc to train its SHCT down.
+        for line in range(100, 140):
+            cache.fill(line, pc=bad_pc)
+        # A fresh set state: one reused line + one bad-pc line.
+        cache2_lines = list(cache.resident_lines())
+        assert len(cache2_lines) <= 2
+
+
+class TestIntrospection:
+    def test_occupancy_counts_valid_lines(self):
+        cache = small_cache(ways=2, sets=4)
+        assert cache.occupancy() == 0
+        for line in range(5):
+            cache.fill(line)
+        assert cache.occupancy() == 5
+
+    def test_resident_lines_roundtrip(self):
+        cache = small_cache(ways=2, sets=4)
+        lines = {0, 1, 2, 3}  # one line per set: no capacity evictions
+        for line in lines:
+            cache.fill(line)
+        assert set(cache.resident_lines()) == lines
+
+    def test_invalidate(self):
+        cache = small_cache()
+        cache.fill(42)
+        assert cache.invalidate(42)
+        assert not cache.probe(42)
+        assert not cache.invalidate(42)
+
+    def test_hit_rate(self):
+        cache = small_cache()
+        cache.fill(1)
+        cache.lookup(1)
+        cache.lookup(2)
+        assert cache.hit_rate == pytest.approx(0.5)
+
+
+class TestPropertyBased:
+    @given(st.lists(st.integers(min_value=0, max_value=500), max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, lines):
+        cache = small_cache(ways=2, sets=4)
+        for line in lines:
+            cache.fill(line)
+        assert cache.occupancy() <= 8
+
+    @given(st.lists(st.integers(min_value=0, max_value=500), max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_resident_addresses_reconstruct_exactly(self, lines):
+        """Address reconstruction from (set, tag) must be lossless."""
+        cache = small_cache(ways=4, sets=8)
+        for line in lines:
+            cache.fill(line)
+        for resident in cache.resident_lines():
+            assert cache.probe(resident)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=100), max_size=200),
+        st.sampled_from(["lru", "ship"]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_fill_then_probe_invariant(self, lines, replacement):
+        cache = small_cache(ways=2, sets=4, replacement=replacement)
+        for line in lines:
+            cache.fill(line)
+            assert cache.probe(line)

@@ -1,0 +1,59 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_everything(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "athena" in out
+        assert "pythia" in out
+        assert "popet" in out
+        assert "evaluation workloads (100)" in out
+        assert "google" in out
+
+
+class TestRun:
+    def test_run_prints_speedup(self, capsys):
+        assert main(["run", "ligra.BFS.0", "--policy", "naive",
+                     "--length", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup:" in out
+        assert "ipc:" in out
+
+    def test_run_unknown_workload(self):
+        with pytest.raises(KeyError):
+            main(["run", "no.such.workload", "--length", "3000"])
+
+    def test_run_unknown_policy(self):
+        with pytest.raises(ValueError):
+            main(["run", "ligra.BFS.0", "--policy", "wat",
+                  "--length", "3000"])
+
+
+class TestFigure:
+    def test_unknown_figure_exits_nonzero(self, capsys):
+        assert main(["figure", "Fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown figure" in err
+
+    def test_known_figure_runs(self, capsys, monkeypatch):
+        # Run the cheapest driver at the tiny scale to keep the test fast.
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        assert main(["figure", "Fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig3" in out
+
+
+class TestArgparse:
+    def test_no_command_is_an_error(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_help_exits_zero(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0

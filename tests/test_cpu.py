@@ -1,0 +1,113 @@
+"""Tests for the ROB-limited analytical core timing model."""
+
+import pytest
+
+from repro.sim.cpu import CoreModel
+from repro.sim.params import CoreParams
+
+
+def core(width=6, rob=512, penalty=17):
+    return CoreModel(CoreParams(width=width, rob_size=rob,
+                                mispredict_penalty=penalty))
+
+
+class TestThroughput:
+    def test_ideal_ipc_equals_width(self):
+        c = core(width=4)
+        for _ in range(4000):
+            c.step()
+        assert c.retired / c.cycles == pytest.approx(4.0, rel=0.01)
+
+    def test_commit_is_in_order_and_monotone(self):
+        c = core()
+        commits = [c.step(latency=(i % 7) + 1) for i in range(100)]
+        assert commits == sorted(commits)
+
+    def test_single_long_latency_hidden_by_window(self):
+        """One slow load among many independent instructions barely moves
+        the clock (the ROB covers it)."""
+        fast = core()
+        for _ in range(1000):
+            fast.step()
+        slow = core()
+        for i in range(1000):
+            slow.step(latency=200.0 if i == 100 else 1.0, is_load=(i == 100))
+        assert slow.cycles < fast.cycles + 210
+
+
+class TestMemoryLevelParallelism:
+    def test_independent_misses_overlap(self):
+        """N independent 200-cycle loads inside the window cost ~200
+        cycles total, not N * 200."""
+        c = core(width=4, rob=512)
+        for _ in range(64):
+            c.step(latency=200.0, is_load=True)
+        assert c.cycles < 300.0
+
+    def test_dependent_misses_serialise(self):
+        """Address-dependent loads cannot overlap: the pointer-chasing
+        regime where OCP shines (paper §2.1.1)."""
+        c = core(width=4, rob=512)
+        for _ in range(16):
+            c.step(latency=200.0, is_load=True, dependent_load=True)
+        assert c.cycles > 16 * 200.0 * 0.95
+
+    def test_rob_limits_overlap(self):
+        """With a tiny ROB, misses beyond the window serialise."""
+        small = core(width=4, rob=4)
+        for _ in range(64):
+            small.step(latency=200.0, is_load=True)
+        big = core(width=4, rob=512)
+        for _ in range(64):
+            big.step(latency=200.0, is_load=True)
+        assert small.cycles > 3 * big.cycles
+
+
+class TestBranches:
+    def test_mispredict_adds_penalty(self):
+        clean = core()
+        for _ in range(100):
+            clean.step()
+        dirty = core()
+        for i in range(100):
+            dirty.step(mispredicted_branch=(i == 50))
+        assert dirty.cycles >= clean.cycles + 16
+
+    def test_many_mispredicts_dominate(self):
+        c = core(penalty=20)
+        for _ in range(100):
+            c.step(mispredicted_branch=True)
+        # Each branch costs ~ penalty + resolution.
+        assert c.cycles > 100 * 20 * 0.9
+
+
+class TestTwoPhaseApi:
+    def test_begin_returns_issue_time(self):
+        c = core()
+        t0 = c.begin()
+        assert t0 == 0.0
+        c.finish(latency=10.0, is_load=True)
+        t1 = c.begin(dependent_load=True)
+        assert t1 == pytest.approx(10.0)
+
+    def test_finish_returns_commit_time(self):
+        c = core()
+        c.begin()
+        commit = c.finish(latency=5.0)
+        assert commit == pytest.approx(5.0)
+
+    def test_retired_counter(self):
+        c = core()
+        for _ in range(10):
+            c.step()
+        assert c.retired == 10
+
+    def test_step_equivalent_to_begin_finish(self):
+        a = core()
+        b = core()
+        for i in range(50):
+            latency = (i % 5) + 1.0
+            a.step(latency=latency, is_load=True)
+            b.begin()
+            b.finish(latency=latency, is_load=True)
+        assert a.cycles == pytest.approx(b.cycles)

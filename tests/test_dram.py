@@ -1,0 +1,154 @@
+"""Tests for the banked DRAM bandwidth model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.dram import MainMemory
+from repro.sim.params import DramParams
+
+
+def dram(bandwidth_gbps=3.2, banks=8):
+    return MainMemory(DramParams(bandwidth_gbps=bandwidth_gbps,
+                                 num_banks=banks))
+
+
+class TestLatencyComposition:
+    def test_cold_access_pays_activation_and_transfer(self):
+        mem = dram()
+        result = mem.access(0.0, 100, MainMemory.DEMAND)
+        params = DramParams(bandwidth_gbps=3.2)
+        expected = params.t_rcd + params.t_cas + params.line_transfer_cycles
+        assert result.completion_time == pytest.approx(expected)
+        assert not result.row_hit
+
+    def test_row_hit_is_cheaper(self):
+        mem = dram()
+        first = mem.access(0.0, 100, MainMemory.DEMAND)
+        second = mem.access(first.completion_time, 101, MainMemory.DEMAND)
+        assert second.row_hit
+        assert (second.completion_time - first.completion_time) < (
+            first.completion_time
+        )
+
+    def test_row_conflict_pays_precharge(self):
+        mem = dram(banks=1)
+        lines_per_row = DramParams().lines_per_row
+        r1 = mem.access(0.0, 0, MainMemory.DEMAND)
+        # Different row, same (only) bank => precharge penalty.
+        r2 = mem.access(10_000.0, lines_per_row * 5, MainMemory.DEMAND)
+        params = DramParams()
+        expected = (params.t_rp + params.t_rcd + params.t_cas
+                    + params.line_transfer_cycles)
+        assert r2.completion_time - 10_000.0 == pytest.approx(expected)
+        assert not r2.row_hit
+        assert r1.completion_time < 10_000.0
+
+    def test_unknown_kind_rejected(self):
+        mem = dram()
+        with pytest.raises(ValueError):
+            mem.access(0.0, 1, "bogus")
+
+
+class TestBandwidthContention:
+    def test_burst_queues_on_data_bus(self):
+        """Simultaneous requests serialise at line_transfer_cycles apart."""
+        mem = dram()
+        transfer = DramParams(bandwidth_gbps=3.2).line_transfer_cycles
+        completions = [
+            mem.access(0.0, line * 1000, MainMemory.DEMAND).completion_time
+            for line in range(8)
+        ]
+        gaps = [b - a for a, b in zip(completions, completions[1:])]
+        for gap in gaps:
+            assert gap >= transfer - 1e-9
+
+    def test_higher_bandwidth_shortens_transfer(self):
+        slow = dram(bandwidth_gbps=1.6)
+        fast = dram(bandwidth_gbps=12.8)
+        s = slow.access(0.0, 1, MainMemory.DEMAND).completion_time
+        f = fast.access(0.0, 1, MainMemory.DEMAND).completion_time
+        assert f < s
+
+    def test_prefetch_traffic_delays_demand(self):
+        """The mechanism behind prefetcher-adverse behaviour: prefetch
+        transfers occupy the same bus demands need."""
+        quiet = dram()
+        demand_alone = quiet.access(0.0, 1, MainMemory.DEMAND).completion_time
+
+        busy = dram()
+        for line in range(6):
+            busy.access(0.0, 10_000 + line * 999, MainMemory.PREFETCH)
+        demand_contended = busy.access(0.0, 1, MainMemory.DEMAND).completion_time
+        assert demand_contended > demand_alone
+
+    def test_busy_cycles_accumulate_per_transfer(self):
+        mem = dram()
+        transfer = DramParams(bandwidth_gbps=3.2).line_transfer_cycles
+        for line in range(5):
+            mem.access(0.0, line, MainMemory.DEMAND)
+        assert mem.busy_cycles == pytest.approx(5 * transfer)
+
+    def test_bandwidth_usage_fraction(self):
+        mem = dram()
+        mem.access(0.0, 1, MainMemory.DEMAND)
+        transfer = DramParams(bandwidth_gbps=3.2).line_transfer_cycles
+        assert mem.bandwidth_usage(10 * transfer) == pytest.approx(0.1)
+        assert mem.bandwidth_usage(0.0) == 0.0
+        assert mem.bandwidth_usage(0.5 * transfer) == 1.0  # capped
+
+
+class TestAccounting:
+    def test_requests_partitioned_by_kind(self):
+        mem = dram()
+        mem.access(0.0, 1, MainMemory.DEMAND)
+        mem.access(0.0, 2, MainMemory.PREFETCH)
+        mem.access(0.0, 3, MainMemory.OCP)
+        mem.access(0.0, 4, MainMemory.WRITEBACK)
+        mem.access(0.0, 5, MainMemory.DEMAND)
+        assert mem.requests_by_kind[MainMemory.DEMAND] == 2
+        assert mem.requests_by_kind[MainMemory.PREFETCH] == 1
+        assert mem.requests_by_kind[MainMemory.OCP] == 1
+        assert mem.requests_by_kind[MainMemory.WRITEBACK] == 1
+        assert mem.total_requests == 5
+
+    def test_snapshot_is_independent_copy(self):
+        mem = dram()
+        snap = mem.snapshot()
+        mem.access(0.0, 1, MainMemory.DEMAND)
+        assert snap["demand"] == 0
+        assert mem.snapshot()["demand"] == 1
+
+    def test_paper_bandwidth_mapping(self):
+        """3.2 GB/s at 4 GHz core = 0.8 B/cycle = 80 cycles per line."""
+        params = DramParams(bandwidth_gbps=3.2)
+        assert params.bytes_per_cycle == pytest.approx(0.8)
+        assert params.line_transfer_cycles == pytest.approx(80.0)
+
+
+class TestPropertyBased:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=1e5, allow_nan=False),
+                st.integers(min_value=0, max_value=2**24),
+            ),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_completion_always_after_request(self, requests):
+        mem = dram()
+        requests.sort()
+        for now, line in requests:
+            result = mem.access(now, line, MainMemory.DEMAND)
+            assert result.completion_time > now
+
+    @given(st.integers(min_value=1, max_value=200))
+    @settings(max_examples=30, deadline=None)
+    def test_busy_cycles_proportional_to_requests(self, n):
+        mem = dram()
+        for line in range(n):
+            mem.access(0.0, line * 17, MainMemory.DEMAND)
+        transfer = DramParams(bandwidth_gbps=3.2).line_transfer_cycles
+        assert mem.busy_cycles == pytest.approx(n * transfer)

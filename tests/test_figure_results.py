@@ -1,0 +1,78 @@
+"""Tests for the figure-result container and the figure registry."""
+
+import pytest
+
+from repro.experiments.figures import FIGURES, FigureResult
+
+
+class TestFigureResult:
+    def make(self):
+        result = FigureResult("FigX", "Test figure")
+        result.add("row-a", alpha=1.0, beta=2.5)
+        result.add("row-b", alpha=0.5, beta=1.25)
+        return result
+
+    def test_row_lookup(self):
+        result = self.make()
+        assert result.row("row-a") == {"alpha": 1.0, "beta": 2.5}
+        with pytest.raises(KeyError, match="no row"):
+            result.row("missing")
+
+    def test_series_extraction(self):
+        result = self.make()
+        assert result.series("alpha") == [1.0, 0.5]
+        assert result.series("nonexistent") == []
+
+    def test_format_table_contains_everything(self):
+        result = self.make()
+        result.notes = "hello note"
+        table = result.format_table()
+        assert "FigX: Test figure" in table
+        assert "row-a" in table and "row-b" in table
+        assert "alpha" in table and "beta" in table
+        assert "1.0000" in table and "1.2500" in table
+        assert "note: hello note" in table
+
+    def test_format_table_ragged_rows(self):
+        """Rows with different column sets must still align."""
+        result = FigureResult("FigY", "Ragged")
+        result.add("full", a=1.0, b=2.0)
+        result.add("partial", a=3.0)
+        table = result.format_table()
+        lines = table.splitlines()
+        assert len({len(line) for line in lines[2:]}) <= 2
+
+    def test_column_order_is_first_seen(self):
+        result = FigureResult("FigZ", "Order")
+        result.add("r1", zeta=1.0, alpha=2.0)
+        header = result.format_table().splitlines()[2]
+        assert header.index("zeta") < header.index("alpha")
+
+
+class TestFigureRegistry:
+    def test_every_paper_figure_has_a_driver(self):
+        expected = {
+            "Fig1", "Fig2", "Fig3", "Fig4", "Fig7", "Fig9", "Fig10",
+            "Fig11", "Fig12a", "Fig12b", "Fig12c", "Fig13", "Fig14",
+            "Fig15", "Fig16", "Fig17", "Fig18", "Fig19", "Fig20", "Fig21",
+        }
+        assert expected <= set(FIGURES)
+
+    def test_drivers_are_callable(self):
+        for driver in FIGURES.values():
+            assert callable(driver)
+
+    def test_benchmark_per_registered_figure(self):
+        """Every registered figure driver is exercised by a benchmark."""
+        import pathlib
+
+        bench_dir = pathlib.Path(__file__).parent.parent / "benchmarks"
+        text = "\n".join(
+            p.read_text() for p in bench_dir.glob("test_*.py")
+        )
+        missing = [
+            fig_id
+            for fig_id, driver in FIGURES.items()
+            if driver.__name__ not in text
+        ]
+        assert not missing, f"figures without benchmarks: {missing}"

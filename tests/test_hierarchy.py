@@ -1,0 +1,264 @@
+"""Integration tests for the cache hierarchy (demand/prefetch/OCP paths)."""
+
+import pytest
+
+from repro.ocp.base import OffChipPredictor
+from repro.prefetchers.base import Prefetcher
+from repro.sim.hierarchy import CacheHierarchy
+from repro.sim.params import scaled_system
+
+
+class AlwaysOffchipOcp(OffChipPredictor):
+    """Test double: predicts off-chip unconditionally."""
+
+    def _predict(self, pc, line_addr, byte_offset):
+        return True
+
+    def train(self, pc, line_addr, went_offchip, byte_offset=0):
+        self.last_outcome = went_offchip
+
+    def storage_bits(self):
+        return 0
+
+
+class NeverOffchipOcp(OffChipPredictor):
+    def _predict(self, pc, line_addr, byte_offset):
+        return False
+
+    def train(self, pc, line_addr, went_offchip, byte_offset=0):
+        pass
+
+    def storage_bits(self):
+        return 0
+
+
+class NextLinePf(Prefetcher):
+    level = "l2c"
+    max_degree = 2
+
+    def _train_and_predict(self, pc, line_addr, hit):
+        return [line_addr + 1, line_addr + 2]
+
+    def storage_bits(self):
+        return 0
+
+
+class L1NextLinePf(NextLinePf):
+    level = "l1d"
+
+
+def make_hierarchy(**kwargs):
+    return CacheHierarchy(scaled_system(), **kwargs)
+
+
+def addr(line, offset=0):
+    return (line << 6) | offset
+
+
+class TestDemandPath:
+    def test_cold_load_goes_offchip(self):
+        h = make_hierarchy()
+        result = h.load(0x400, addr(100), 0.0)
+        assert result.went_offchip
+        assert h.stats.llc_misses == 1
+        assert h.stats.dram_demand_requests == 1
+
+    def test_second_load_hits_l1(self):
+        h = make_hierarchy()
+        h.load(0x400, addr(100), 0.0)
+        result = h.load(0x400, addr(100), 1000.0)
+        assert not result.went_offchip
+        assert result.latency == pytest.approx(h.params.l1d.latency)
+
+    def test_miss_latency_exceeds_onchip_lookup(self):
+        h = make_hierarchy()
+        result = h.load(0x400, addr(100), 0.0)
+        onchip = (h.params.l1d.latency + h.params.l2c.latency
+                  + h.params.llc.latency)
+        assert result.latency > onchip
+
+    def test_llc_hit_after_l1_l2_eviction(self):
+        h = make_hierarchy()
+        h.load(0x400, addr(5), 0.0)
+        # Evict line 5 from L1 (4-way, 16 sets => 5 conflicting fills).
+        for k in range(1, 8):
+            h.load(0x400, addr(5 + 16 * k), 10.0 * k)
+        h.l1d.invalidate(5)
+        h.l2c.invalidate(5)
+        result = h.load(0x400, addr(5), 1e6)
+        assert not result.went_offchip
+        assert result.latency >= h.params.llc.latency
+
+    def test_in_flight_line_waits_for_arrival(self):
+        """A demand hitting a line still in flight pays the remaining
+        fill time (MSHR merge), not just the lookup latency."""
+        h = make_hierarchy(prefetchers=[NextLinePf()])
+        h.load(0x400, addr(100), 0.0)  # prefetches 101 at t=0
+        result = h.load(0x400, addr(101), 1.0)
+        assert not result.went_offchip
+        assert result.latency > h.params.l1d.latency + h.params.l2c.latency
+
+    def test_store_traffic_counted_but_fast(self):
+        h = make_hierarchy()
+        latency = h.store(0x400, addr(100), 0.0)
+        assert latency == 1.0
+        assert h.stats.dram_demand_requests == 1
+
+    def test_dirty_llc_eviction_writes_back(self):
+        h = make_hierarchy()
+        h.store(0x400, addr(7), 0.0)
+        sets = h.llc.num_sets
+        conflicts = 0
+        t = 100.0
+        while h.stats.dram_writeback_requests == 0 and conflicts < 20:
+            conflicts += 1
+            h.load(0x400, addr(7 + sets * conflicts), t)
+            t += 100.0
+        assert h.stats.dram_writeback_requests >= 1
+
+
+class TestOcpPath:
+    def test_correct_prediction_faster_than_plain_miss(self):
+        plain = make_hierarchy()
+        plain_latency = plain.load(0x400, addr(100), 0.0).latency
+        assisted = make_hierarchy(ocp=AlwaysOffchipOcp())
+        assisted_latency = assisted.load(0x400, addr(100), 0.0).latency
+        assert assisted_latency < plain_latency
+        assert assisted.stats.ocp_correct == 1
+        assert assisted.stats.ocp_predictions == 1
+
+    def test_wrong_prediction_burns_bandwidth(self):
+        h = make_hierarchy(ocp=AlwaysOffchipOcp())
+        h.load(0x400, addr(100), 0.0)
+        h.load(0x400, addr(100), 1000.0)  # L1 hit, but OCP fires anyway
+        assert h.stats.dram_ocp_requests == 2
+        assert h.stats.ocp_correct == 1
+
+    def test_disabled_ocp_issues_nothing(self):
+        h = make_hierarchy(ocp=AlwaysOffchipOcp())
+        h.set_ocp_enabled(False)
+        h.load(0x400, addr(100), 0.0)
+        assert h.stats.dram_ocp_requests == 0
+
+    def test_ocp_trained_with_outcome(self):
+        ocp = AlwaysOffchipOcp()
+        h = make_hierarchy(ocp=ocp)
+        h.load(0x400, addr(100), 0.0)
+        assert ocp.last_outcome is True
+        h.load(0x400, addr(100), 1000.0)
+        assert ocp.last_outcome is False
+
+    def test_negative_predictor_never_requests(self):
+        h = make_hierarchy(ocp=NeverOffchipOcp())
+        h.load(0x400, addr(100), 0.0)
+        assert h.stats.dram_ocp_requests == 0
+        assert h.stats.ocp_predictions == 0
+
+    def test_higher_issue_latency_slower(self):
+        fast = CacheHierarchy(
+            scaled_system().with_ocp_issue_latency(6), ocp=AlwaysOffchipOcp()
+        )
+        slow = CacheHierarchy(
+            scaled_system().with_ocp_issue_latency(30), ocp=AlwaysOffchipOcp()
+        )
+        assert (
+            fast.load(0x400, addr(100), 0.0).latency
+            < slow.load(0x400, addr(100), 0.0).latency
+        )
+
+
+class TestPrefetchPath:
+    def test_prefetch_fills_target_level(self):
+        h = make_hierarchy(prefetchers=[NextLinePf()])
+        h.load(0x400, addr(100), 0.0)
+        assert h.l2c.probe(101)
+        assert h.l2c.probe(102)
+        assert h.stats.prefetches_issued == 2
+        assert h.stats.dram_prefetch_requests == 2
+
+    def test_l1_prefetcher_fills_l1(self):
+        h = make_hierarchy(prefetchers=[L1NextLinePf()])
+        h.load(0x400, addr(100), 0.0)
+        assert h.l1d.probe(101)
+
+    def test_useful_prefetch_credited_once(self):
+        h = make_hierarchy(prefetchers=[NextLinePf()])
+        h.load(0x400, addr(100), 0.0)
+        h.load(0x400, addr(101), 1000.0)
+        h.load(0x400, addr(101), 2000.0)
+        assert h.stats.prefetches_useful == 1
+
+    def test_disabled_prefetcher_is_silent(self):
+        h = make_hierarchy(prefetchers=[NextLinePf()])
+        h.set_prefetchers_enabled([False])
+        h.load(0x400, addr(100), 0.0)
+        assert h.stats.prefetches_issued == 0
+
+    def test_enable_flags_length_checked(self):
+        h = make_hierarchy(prefetchers=[NextLinePf()])
+        with pytest.raises(ValueError):
+            h.set_prefetchers_enabled([True, False])
+
+    def test_prefetch_filter_drops_requests(self):
+        h = make_hierarchy(prefetchers=[NextLinePf()])
+        h.prefetch_filter = lambda pc, line, level: False
+        h.load(0x400, addr(100), 0.0)
+        assert h.stats.prefetches_issued == 0
+
+    def test_resident_line_not_reprefetched(self):
+        h = make_hierarchy(prefetchers=[NextLinePf()])
+        h.load(0x400, addr(100), 0.0)
+        issued = h.stats.prefetches_issued
+        h.load(0x400, addr(100), 1000.0)  # 101/102 already resident
+        assert h.stats.prefetches_issued == issued
+
+    def test_pollution_tracked_on_prefetch_eviction(self):
+        h = make_hierarchy(prefetchers=[NextLinePf()])
+        sets = h.llc.num_sets
+        victim = 7
+        h.load(0x400, addr(victim), 0.0)
+        h.l1d.invalidate(victim)
+        h.l2c.invalidate(victim)
+        # Flood the victim's LLC set with prefetch fills until evicted.
+        t = 100.0
+        k = 1
+        while h.llc.probe(victim) and k < 32:
+            h.load(0x500, addr(victim + sets * k * 4 + 1024 * 512), t)
+            t += 200.0
+            k += 1
+        if not h.llc.probe(victim):
+            result = h.load(0x400, addr(victim), t + 1000.0)
+            assert result.went_offchip
+
+    def test_degree_fraction_scales_candidates(self):
+        pf = NextLinePf()
+        h = make_hierarchy(prefetchers=[pf])
+        h.set_degree_fraction(0.5)
+        h.load(0x400, addr(100), 0.0)
+        assert h.stats.prefetches_issued == 1  # degree 2 -> 1
+
+
+class TestObservers:
+    def test_observer_sees_prefetch_and_demand_events(self):
+        events = []
+
+        class Spy:
+            def on_prefetch_issued(self, line):
+                events.append(("pf", line))
+
+            def on_demand_load(self, pc, line, offchip):
+                events.append(("ld", line, offchip))
+
+        h = make_hierarchy(prefetchers=[NextLinePf()])
+        h.observers.append(Spy())
+        h.load(0x400, addr(100), 0.0)
+        kinds = {e[0] for e in events}
+        assert kinds == {"pf", "ld"}
+
+    def test_observer_missing_methods_ignored(self):
+        class Empty:
+            pass
+
+        h = make_hierarchy()
+        h.observers.append(Empty())
+        h.load(0x400, addr(100), 0.0)  # must not raise

@@ -1,0 +1,109 @@
+"""Tests for the multi-core simulator (shared LLC + DRAM)."""
+
+import pytest
+
+from repro.experiments.configs import CacheDesign, build_hierarchy, system_for
+from repro.policies.athena import AthenaPolicy
+from repro.sim.multicore import MultiCoreResult, MultiCoreSimulator
+from repro.workloads.generators import GENERATORS
+
+
+def traces(n, pattern="streaming", length=2000):
+    return [
+        GENERATORS[pattern](f"t{i}", "test", 10 + i, length) for i in range(n)
+    ]
+
+
+def run_multicore(n_cores=2, pattern="streaming", design=None,
+                  policy_factory=lambda: None, length=2000):
+    design = design or CacheDesign.cd1()
+    params = system_for(design)
+    sim = MultiCoreSimulator(
+        traces=traces(n_cores, pattern, length),
+        params=params,
+        hierarchy_factory=lambda p, llc, dram: build_hierarchy(
+            design, params=p, llc=llc, dram=dram
+        ),
+        policy_factory=policy_factory,
+        instructions_per_core=length,
+        epoch_length=200,
+    )
+    return sim.run()
+
+
+class TestBasics:
+    def test_all_cores_complete(self):
+        result = run_multicore(4)
+        assert len(result.cores) == 4
+        for core in result.cores:
+            assert core.instructions == 2000
+            assert core.ipc > 0
+
+    def test_empty_traces_rejected(self):
+        design = CacheDesign.cd1()
+        with pytest.raises(ValueError):
+            MultiCoreSimulator(
+                traces=[], params=system_for(design),
+                hierarchy_factory=lambda p, llc, dram: None,
+                policy_factory=lambda: None,
+                instructions_per_core=100,
+            )
+
+    def test_short_trace_replayed(self):
+        design = CacheDesign.cd1().without_mechanisms()
+        params = system_for(design)
+        short = traces(1, length=500)
+        sim = MultiCoreSimulator(
+            traces=short, params=params,
+            hierarchy_factory=lambda p, llc, dram: build_hierarchy(
+                design, params=p, llc=llc, dram=dram
+            ),
+            policy_factory=lambda: None,
+            instructions_per_core=2000,
+        )
+        result = sim.run()
+        assert result.cores[0].instructions == 2000
+
+
+class TestSharedResources:
+    def test_contention_slows_cores_down(self):
+        """Two memory-bound cores sharing one DRAM channel must each run
+        slower than a core running alone."""
+        alone = run_multicore(1, pattern="hash_probe")
+        shared = run_multicore(4, pattern="hash_probe")
+        assert shared.cores[0].ipc < alone.cores[0].ipc
+
+    def test_weighted_speedup_identity(self):
+        result = run_multicore(2)
+        assert result.weighted_speedup(result) == pytest.approx(1.0)
+
+    def test_weighted_speedup_mismatch_rejected(self):
+        a = run_multicore(2)
+        b = run_multicore(4)
+        with pytest.raises(ValueError):
+            a.weighted_speedup(b)
+
+    def test_per_core_policies_independent(self):
+        design = CacheDesign.cd1()
+        params = system_for(design)
+        policies = []
+
+        def factory():
+            policy = AthenaPolicy()
+            policies.append(policy)
+            return policy
+
+        sim = MultiCoreSimulator(
+            traces=traces(2, "hash_probe"),
+            params=params,
+            hierarchy_factory=lambda p, llc, dram: build_hierarchy(
+                design, params=p, llc=llc, dram=dram
+            ),
+            policy_factory=factory,
+            instructions_per_core=2000,
+            epoch_length=200,
+        )
+        sim.run()
+        assert len(policies) == 2
+        assert policies[0].agent is not policies[1].agent
+        assert policies[0].action_history

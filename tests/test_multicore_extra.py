@@ -1,0 +1,109 @@
+"""Extra multi-core tests: warm-up semantics and shared-resource effects."""
+
+import pytest
+
+from repro.experiments.configs import CacheDesign, build_hierarchy, system_for
+from repro.policies.athena import AthenaPolicy
+from repro.policies.base import NaivePolicy
+from repro.sim.multicore import MultiCoreSimulator
+from repro.workloads.suites import build_trace, find_workload
+
+
+def make_sim(workloads, policy_factory=lambda: None, *, cores=None,
+             length=4_000, epoch=400, warmup=0.0, bandwidth=3.2):
+    design = CacheDesign.cd1(bandwidth_gbps=bandwidth)
+    params = system_for(design)
+    traces = [build_trace(find_workload(w), length) for w in workloads]
+    return MultiCoreSimulator(
+        traces=traces,
+        params=params,
+        hierarchy_factory=lambda p, llc, dram: build_hierarchy(
+            design, params=p, llc=llc, dram=dram
+        ),
+        policy_factory=policy_factory,
+        instructions_per_core=length,
+        epoch_length=epoch,
+        warmup_fraction=warmup,
+    )
+
+
+STREAM = "spec06.libquantum_like.0"
+CHASE = "ligra.BFS.0"
+
+
+class TestWarmupSemantics:
+    def test_warmup_shrinks_measured_instructions(self):
+        full = make_sim([STREAM, CHASE]).run()
+        warmed = make_sim([STREAM, CHASE], warmup=0.25).run()
+        for f, w in zip(full.cores, warmed.cores):
+            assert w.instructions == f.instructions - 1_000
+
+    def test_warmup_fraction_validated(self):
+        with pytest.raises(ValueError, match="warmup_fraction"):
+            make_sim([STREAM], warmup=1.5)
+
+    def test_measured_cycles_exclude_warmup(self):
+        full = make_sim([STREAM, CHASE]).run()
+        warmed = make_sim([STREAM, CHASE], warmup=0.25).run()
+        for f, w in zip(full.cores, warmed.cores):
+            assert 0 < w.cycles < f.cycles
+
+    def test_zero_warmup_unchanged(self):
+        a = make_sim([STREAM]).run()
+        b = make_sim([STREAM], warmup=0.0).run()
+        assert a.cores[0].cycles == b.cores[0].cycles
+
+
+class TestSharedResourceContention:
+    def test_corunner_slows_memory_workload(self):
+        """A bandwidth-hungry co-runner must hurt a memory workload more
+        than running alone (shared DRAM contention)."""
+        alone = make_sim([CHASE]).run().cores[0]
+        contended = make_sim([CHASE, STREAM, STREAM, STREAM]).run().cores[0]
+        assert contended.ipc < alone.ipc
+
+    def test_more_bandwidth_relieves_contention(self):
+        slow = make_sim([CHASE, STREAM], bandwidth=1.6).run()
+        fast = make_sim([CHASE, STREAM], bandwidth=12.8).run()
+        assert fast.cores[0].ipc > slow.cores[0].ipc
+        assert fast.cores[1].ipc > slow.cores[1].ipc
+
+    def test_per_core_policies_are_independent(self):
+        sim = make_sim([STREAM, CHASE], policy_factory=AthenaPolicy)
+        policies = [ctx.policy for ctx in sim.contexts]
+        assert policies[0] is not policies[1]
+        sim.run()
+        # Each agent learned from its own core's telemetry.
+        assert policies[0].agent.decisions
+        assert policies[1].agent.decisions
+
+    def test_weighted_speedup_identity(self):
+        run = make_sim([STREAM, CHASE]).run()
+        assert run.weighted_speedup(run) == pytest.approx(1.0)
+
+    def test_weighted_speedup_core_count_mismatch(self):
+        a = make_sim([STREAM]).run()
+        b = make_sim([STREAM, CHASE]).run()
+        with pytest.raises(ValueError, match="core count"):
+            a.weighted_speedup(b)
+
+
+class TestTraceReplay:
+    def test_short_trace_replays_to_limit(self):
+        """Paper §6.1: workloads replay until every core retires its
+        instruction quota."""
+        design = CacheDesign.cd1()
+        params = system_for(design)
+        short = build_trace(find_workload(STREAM), 1_000)
+        sim = MultiCoreSimulator(
+            traces=[short],
+            params=params,
+            hierarchy_factory=lambda p, llc, dram: build_hierarchy(
+                design, params=p, llc=llc, dram=dram
+            ),
+            policy_factory=NaivePolicy,
+            instructions_per_core=3_000,
+            epoch_length=400,
+        )
+        result = sim.run()
+        assert result.cores[0].instructions == 3_000

@@ -1,0 +1,167 @@
+"""Tests for the QVStore (paper §5.1, Table 4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.qvstore import QVStore
+
+
+def make_store(**kwargs):
+    defaults = dict(num_actions=4, num_planes=8, rows_per_plane=64,
+                    q_init=0.0, q_clip=4.0)
+    defaults.update(kwargs)
+    return QVStore(**defaults)
+
+
+class TestGeometry:
+    def test_paper_default_storage_is_2kib(self):
+        """Table 4: 8 planes x 64 rows x 4 actions x 8 bits = 2 KB."""
+        store = make_store()
+        assert store.storage_bits() == 8 * 64 * 4 * 8
+        assert store.storage_kib() == 2.0
+
+    def test_rejects_zero_actions(self):
+        with pytest.raises(ValueError):
+            make_store(num_actions=0)
+
+    def test_rejects_zero_planes(self):
+        with pytest.raises(ValueError):
+            make_store(num_planes=0)
+
+    def test_rejects_zero_rows(self):
+        with pytest.raises(ValueError):
+            make_store(rows_per_plane=0)
+
+    def test_action_bounds_checked(self):
+        store = make_store()
+        with pytest.raises(IndexError):
+            store.q_value(0, 4)
+        with pytest.raises(IndexError):
+            store.update(0, -1, 0.1)
+
+
+class TestRetrieval:
+    def test_initial_q_equals_init(self):
+        store = make_store(q_init=0.4)
+        assert store.q_value(123, 2) == pytest.approx(0.4)
+
+    def test_q_values_consistent_with_q_value(self):
+        store = make_store()
+        store.update(99, 1, 0.5)
+        values = store.q_values(99)
+        for action in range(4):
+            assert values[action] == pytest.approx(store.q_value(99, action))
+
+    def test_rows_for_state_in_range(self):
+        store = make_store()
+        for state in (0, 1, 2**31, 2**60):
+            rows = store.rows_for_state(state)
+            assert len(rows) == 8
+            assert all(0 <= r < 64 for r in rows)
+
+    def test_distinct_hashes_across_planes(self):
+        """Planes should not all agree on the row for a given state."""
+        store = make_store()
+        disagreements = 0
+        for state in range(50):
+            rows = store.rows_for_state(state)
+            if len(set(rows)) > 1:
+                disagreements += 1
+        assert disagreements > 40
+
+    def test_best_action_tracks_updates(self):
+        store = make_store()
+        store.update(7, 3, 1.0)
+        assert store.best_action(7) == 3
+        store.update(7, 1, 2.0)
+        assert store.best_action(7) == 1
+
+
+class TestUpdate:
+    def test_update_moves_sum_by_delta(self):
+        store = make_store()
+        before = store.q_value(5, 0)
+        store.update(5, 0, 0.25)
+        assert store.q_value(5, 0) == pytest.approx(before + 0.25)
+
+    def test_update_distributes_across_planes(self):
+        store = make_store()
+        store.update(5, 0, 0.8)
+        rows = store.rows_for_state(5)
+        for plane_index, row in enumerate(rows):
+            snap = store.plane_snapshot(plane_index)
+            assert snap[row][0] == pytest.approx(0.1)
+
+    def test_updates_do_not_leak_to_other_actions(self):
+        store = make_store()
+        store.update(5, 0, 1.0)
+        assert store.q_value(5, 1) == pytest.approx(0.0)
+
+    def test_clipping_saturates(self):
+        store = make_store(q_clip=1.0)
+        for _ in range(100):
+            store.update(5, 0, 1.0)
+        assert store.q_value(5, 0) <= 1.0 + 1e-9
+
+    def test_negative_clipping(self):
+        store = make_store(q_clip=1.0)
+        for _ in range(100):
+            store.update(5, 0, -1.0)
+        assert store.q_value(5, 0) >= -1.0 - 1e-9
+
+
+class TestPerPlaneStates:
+    def test_per_plane_state_list_accepted(self):
+        store = make_store()
+        states = list(range(8))
+        store.update(states, 2, 0.4)
+        assert store.q_value(states, 2) == pytest.approx(0.4)
+
+    def test_wrong_plane_count_rejected(self):
+        store = make_store()
+        with pytest.raises(ValueError):
+            store.q_value([1, 2, 3], 0)
+
+    def test_shared_planes_generalize(self):
+        """States sharing some per-plane tiles share part of their value."""
+        store = make_store()
+        a = [0, 1, 2, 3, 4, 5, 6, 7]
+        b = [0, 1, 2, 3, 40, 50, 60, 70]  # shares the first four tiles
+        store.update(a, 0, 0.8)
+        shared = store.q_value(b, 0)
+        assert 0.0 < shared < 0.8
+
+    def test_disjoint_tilings_do_not_collide_much(self):
+        store = make_store(rows_per_plane=4096)
+        a = [10] * 8
+        b = [99999] * 8
+        store.update(a, 0, 0.8)
+        assert abs(store.q_value(b, 0)) < 0.2
+
+
+class TestPropertyBased:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2**20),
+                st.integers(min_value=0, max_value=3),
+                st.floats(min_value=-0.5, max_value=0.5,
+                          allow_nan=False, allow_infinity=False),
+            ),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_q_values_always_bounded_by_clip(self, updates):
+        store = make_store(q_clip=2.0)
+        for state, action, delta in updates:
+            store.update(state, action, delta)
+        for state, action, _ in updates:
+            assert -2.0 - 1e-9 <= store.q_value(state, action) <= 2.0 + 1e-9
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    @settings(max_examples=100, deadline=None)
+    def test_rows_deterministic(self, state):
+        store = make_store()
+        assert store.rows_for_state(state) == store.rows_for_state(state)

@@ -1,0 +1,85 @@
+"""Tests for LRU and SHiP replacement policies."""
+
+import pytest
+
+from repro.sim.replacement import LruPolicy, ShipPolicy, make_replacement
+
+
+class TestFactory:
+    def test_known_kinds(self):
+        assert isinstance(make_replacement("lru", 4, 2), LruPolicy)
+        assert isinstance(make_replacement("ship", 4, 2), ShipPolicy)
+        assert isinstance(make_replacement("LRU", 4, 2), LruPolicy)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_replacement("random", 4, 2)
+
+
+class TestLru:
+    def test_victim_is_oldest_fill(self):
+        lru = LruPolicy(1, 4)
+        for way in range(4):
+            lru.on_fill(0, way, pc=0, is_prefetch=False)
+        assert lru.victim(0) == 0
+
+    def test_hit_refreshes_recency(self):
+        lru = LruPolicy(1, 4)
+        for way in range(4):
+            lru.on_fill(0, way, pc=0, is_prefetch=False)
+        lru.on_hit(0, 0, pc=0)
+        assert lru.victim(0) == 1
+
+    def test_sets_are_independent(self):
+        lru = LruPolicy(2, 2)
+        lru.on_fill(0, 0, 0, False)
+        lru.on_fill(1, 1, 0, False)
+        lru.on_fill(0, 1, 0, False)
+        lru.on_fill(1, 0, 0, False)
+        assert lru.victim(0) == 0
+        assert lru.victim(1) == 1
+
+
+class TestShip:
+    def test_hit_promotes_to_rrpv_zero(self):
+        ship = ShipPolicy(1, 2)
+        ship.on_fill(0, 0, pc=0x10, is_prefetch=False)
+        ship.on_hit(0, 0, pc=0x10)
+        ship.on_fill(0, 1, pc=0x20, is_prefetch=True)
+        assert ship.victim(0) == 1
+
+    def test_prefetch_inserted_at_distant_rrpv(self):
+        ship = ShipPolicy(1, 2)
+        ship.on_fill(0, 0, pc=0x10, is_prefetch=False)
+        ship.on_fill(0, 1, pc=0x10, is_prefetch=True)
+        assert ship.victim(0) == 1
+
+    def test_shct_learns_dead_signature(self):
+        ship = ShipPolicy(1, 4)
+        dead_pc = 0x400
+        # Repeated fill+evict without reuse drives the counter to zero.
+        for _ in range(4):
+            ship.on_fill(0, 0, pc=dead_pc, is_prefetch=False)
+            ship.on_eviction(0, 0, was_reused=False, fill_pc=dead_pc)
+        sig = ShipPolicy._signature(dead_pc)
+        assert ship._shct[sig] == 0
+        # Subsequent fills from the dead signature land at distant RRPV.
+        ship.on_fill(0, 1, pc=dead_pc, is_prefetch=False)
+        assert ship._rrpv[0][1] == ShipPolicy.RRPV_MAX - 1
+
+    def test_shct_rewards_reused_signature(self):
+        ship = ShipPolicy(1, 4)
+        pc = 0x800
+        for _ in range(4):
+            ship.on_fill(0, 0, pc=pc, is_prefetch=False)
+            ship.on_eviction(0, 0, was_reused=True, fill_pc=pc)
+        sig = ShipPolicy._signature(pc)
+        assert ship._shct[sig] >= 2
+
+    def test_victim_always_found(self):
+        ship = ShipPolicy(1, 4)
+        for way in range(4):
+            ship.on_fill(0, way, pc=way, is_prefetch=False)
+            ship.on_hit(0, way, pc=way)  # all at RRPV 0
+        victim = ship.victim(0)
+        assert 0 <= victim < 4
