@@ -1,13 +1,19 @@
 """Shared fixtures for the figure-regeneration benchmarks.
 
-All benchmarks share one :class:`ExperimentContext` per session so that
-configurations common to several figures (e.g. the CD1 baseline runs) are
-simulated exactly once.  The scale is selected by ``REPRO_SCALE``
-(tiny/small/medium/full; default small — see ``repro.workloads.suites``).
+All benchmarks share one :class:`ExperimentContext` per session, backed by
+a :class:`repro.engine.api.Engine` with a *persistent* result store: runs
+common to several figures (e.g. the CD1 baselines) are simulated once per
+store lifetime, so a second benchmark session replays everything from
+disk.  Configuration via environment variables:
+
+* ``REPRO_SCALE``  — tiny/small/medium/full (default small).
+* ``REPRO_STORE``  — store path (default ``benchmarks/results/store.sqlite``);
+  set to ``none`` to disable persistence.
+* ``REPRO_JOBS``   — worker processes for simulation misses (default 1).
 
 Each benchmark prints the regenerated figure table and also writes it to
 ``benchmarks/results/<figure>.txt`` so the output survives pytest's
-capture.
+capture.  The engine's executed/hit summary is printed at session end.
 """
 
 import os
@@ -15,14 +21,32 @@ import pathlib
 
 import pytest
 
+from repro.engine import Engine, ResultStore
 from repro.experiments.runner import ExperimentContext
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
 @pytest.fixture(scope="session")
-def ctx():
-    return ExperimentContext()
+def engine():
+    store_setting = os.environ.get(
+        "REPRO_STORE", str(RESULTS_DIR / "store.sqlite")
+    )
+    if store_setting.lower() == "none":
+        store = None
+    else:
+        store = ResultStore(store_setting)
+    jobs = int(os.environ.get("REPRO_JOBS", "1"))
+    engine = Engine(store=store, jobs=jobs)
+    yield engine
+    print()
+    print(engine.counters.summary())
+    engine.close()
+
+
+@pytest.fixture(scope="session")
+def ctx(engine):
+    return ExperimentContext(engine=engine)
 
 
 @pytest.fixture(scope="session")

@@ -26,6 +26,8 @@ Quickstart::
 
 from __future__ import annotations
 
+from typing import Optional
+
 from .core.agent import AthenaAgent
 from .core.config import AthenaConfig, PAPER_CONFIG
 from .policies.athena import AthenaPolicy
@@ -77,15 +79,19 @@ class QuickRunResult:
 
 
 def quick_run(workload: str = "ligra.BFS.0", policy: str = "athena",
-              design: str = "cd1", length: int = 24_000) -> QuickRunResult:
+              design: str = "cd1", length: int = 24_000,
+              policy_options: Optional[dict] = None) -> QuickRunResult:
     """Run one workload under one policy and report IPC + speedup.
 
     ``design`` selects the paper's cache design (``cd1`` ... ``cd4``);
     the speedup baseline is the same design with every prefetcher and the
     OCP removed, exactly as the paper normalises its figures.
+    ``policy_options`` are forwarded to the policy constructor (for
+    ``athena`` they become :class:`AthenaConfig` fields, e.g.
+    ``{"seed": 7}``); unsupported options raise :exc:`ValueError`.
     """
     from .experiments.configs import CacheDesign, build_hierarchy
-    from .experiments.runner import make_policy
+    from .policies.registry import make_policy
     from .workloads.suites import build_trace, find_workload
 
     try:
@@ -100,7 +106,7 @@ def quick_run(workload: str = "ligra.BFS.0", policy: str = "athena",
     result = Simulator(
         build_trace(spec, length),
         build_hierarchy(cache_design),
-        policy=make_policy(policy),
+        policy=make_policy(policy, **(policy_options or {})),
         epoch_length=epoch_length,
     ).run()
     baseline = Simulator(

@@ -9,16 +9,27 @@ Commands
     Simulate one workload under one policy and print the result row.
 ``figure``
     Regenerate one paper figure (same drivers as the benchmarks).
+``figures``
+    Regenerate several (or ``--all``) figures through the parallel
+    engine, with a persistent result store and an executed/hit summary.
+``sweep``
+    Run a workloads × designs × policies cross-product and print the
+    speedup matrix.
 ``classify``
     Split the evaluation workloads into prefetcher-friendly/adverse.
 
 The CLI is a thin veneer over the library: everything it prints is
-available programmatically through :mod:`repro.experiments`.
+available programmatically through :mod:`repro.experiments`, and the
+``figures``/``sweep`` commands are thin drivers of
+:class:`repro.engine.api.Engine` (``--jobs N`` fans simulations out
+across N worker processes; ``--store PATH`` persists every result so a
+rerun executes nothing).
 """
 
 from __future__ import annotations
 
 import argparse
+import ast
 import sys
 from typing import List, Optional
 
@@ -39,18 +50,76 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--design", default="cd1", help="cd1/cd2/cd3/cd4")
     run.add_argument("--length", type=int, default=24_000,
                      help="trace length in instructions")
+    run.add_argument("--seed", type=int, default=None,
+                     help="policy RNG seed (athena only)")
+    run.add_argument("--policy-config", action="append", default=[],
+                     metavar="KEY=VALUE",
+                     help="policy constructor option, repeatable "
+                          "(e.g. --policy-config alpha=0.4)")
 
     fig = sub.add_parser("figure", help="regenerate one paper figure")
     fig.add_argument("figure_id", help="e.g. Fig7, Fig12a, Tab3")
+
+    figs = sub.add_parser(
+        "figures",
+        help="regenerate figures via the parallel engine + result store",
+    )
+    figs.add_argument("figure_ids", nargs="*", metavar="FIG",
+                      help="figure ids (e.g. Fig7 Fig12a); see --all")
+    figs.add_argument("--all", action="store_true",
+                      help="regenerate every registered figure")
+    _add_engine_args(figs)
+
+    sweep = sub.add_parser(
+        "sweep", help="workloads x designs x policies speedup matrix"
+    )
+    sweep.add_argument("--workloads", default="pool",
+                       help="comma-separated workload names, or pool[:N] "
+                            "for the scale's representative subset")
+    sweep.add_argument("--designs", default="cd1",
+                       help="comma-separated subset of cd1,cd2,cd3,cd4")
+    sweep.add_argument("--policies", default="none,athena",
+                       help="comma-separated policy registry names")
+    _add_engine_args(sweep)
 
     sub.add_parser("classify",
                    help="friendly/adverse split of the workload pool")
     return parser
 
 
+def _add_engine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for simulation misses "
+                             "(default 1: in-process)")
+    parser.add_argument("--store", default=None, metavar="PATH",
+                        help="result-store path (default: $REPRO_STORE or "
+                             "~/.cache/repro/results.sqlite)")
+    parser.add_argument("--no-store", action="store_true",
+                        help="run without a persistent result store")
+
+
+def _make_engine(args):
+    from .engine import Engine, ResultStore
+
+    store = None if args.no_store else ResultStore(args.store)
+    return Engine(store=store, jobs=args.jobs, progress=_progress)
+
+
+def _progress(done: int, total: int, key: str) -> None:
+    print(f"\r  [{done}/{total}] simulations", end="",
+          file=sys.stderr, flush=True)
+    if done == total:
+        print(file=sys.stderr)
+
+
+def _fail(message: str) -> int:
+    print(f"error: {message}", file=sys.stderr)
+    return 2
+
+
 def _cmd_list() -> int:
-    from .experiments.runner import POLICY_FACTORIES
     from .ocp import OCPS
+    from .policies.registry import POLICY_FACTORIES
     from .prefetchers import PREFETCHERS
     from .workloads.suites import evaluation_workloads, google_workloads
 
@@ -68,14 +137,38 @@ def _cmd_list() -> int:
     return 0
 
 
+def _parse_option_value(text: str):
+    """KEY=VALUE values: python literals when possible, else strings."""
+    try:
+        return ast.literal_eval(text)
+    except (ValueError, SyntaxError):
+        return text
+
+
 def _cmd_run(args) -> int:
     from . import quick_run
 
-    result = quick_run(args.workload, policy=args.policy,
-                       design=args.design, length=args.length)
+    options = {}
+    for item in args.policy_config:
+        key, sep, value = item.partition("=")
+        if not sep or not key:
+            return _fail(f"--policy-config expects KEY=VALUE, got {item!r}")
+        options[key] = _parse_option_value(value)
+    if args.seed is not None:
+        options["seed"] = args.seed
+    try:
+        result = quick_run(args.workload, policy=args.policy,
+                           design=args.design, length=args.length,
+                           policy_options=options)
+    except KeyError as exc:
+        return _fail(str(exc.args[0] if exc.args else exc))
+    except ValueError as exc:
+        return _fail(str(exc))
     stats = result.result.stats
     print(f"workload:  {args.workload}")
     print(f"policy:    {args.policy} on {args.design.upper()}")
+    if args.seed is not None:
+        print(f"seed:      {args.seed}")
     print(f"ipc:       {result.ipc:.4f}")
     print(f"baseline:  {result.baseline_ipc:.4f}")
     print(f"speedup:   {result.speedup:.4f}")
@@ -99,6 +192,118 @@ def _cmd_figure(figure_id: str) -> int:
         return 2
     result = driver()
     print(result.format_table())
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    from .experiments.figures import FIGURES
+    from .experiments.runner import ExperimentContext
+
+    if args.all:
+        figure_ids = list(FIGURES)
+    else:
+        figure_ids = list(args.figure_ids)
+    if not figure_ids:
+        return _fail("no figures requested (name some or pass --all)")
+    unknown = [fid for fid in figure_ids if fid not in FIGURES]
+    if unknown:
+        known = ", ".join(sorted(FIGURES))
+        return _fail(f"unknown figures {unknown}; known: {known}")
+    try:
+        engine = _make_engine(args)
+    except ValueError as exc:  # e.g. --store pointing at a non-store file
+        return _fail(str(exc))
+    try:
+        ctx = ExperimentContext(engine=engine)
+        for fid in figure_ids:
+            print(FIGURES[fid](ctx).format_table())
+            print()
+        print(engine.counters.summary())
+    finally:
+        engine.close()
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from .experiments.configs import CacheDesign
+    from .experiments.figures import FigureResult
+    from .experiments.runner import ExperimentContext
+    from .policies.registry import POLICY_FACTORIES
+    from .workloads.suites import find_workload
+
+    policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+    bad = [p for p in policies if p not in POLICY_FACTORIES]
+    if bad:
+        return _fail(f"unknown policies {bad}; valid: "
+                     f"{sorted(POLICY_FACTORIES)}")
+    designs = []
+    for name in (d.strip() for d in args.designs.split(",") if d.strip()):
+        factory = getattr(CacheDesign, name.lower(), None)
+        if factory is None:
+            return _fail(f"unknown design {name!r}; valid: cd1 cd2 cd3 cd4")
+        designs.append((name.lower(), factory()))
+    if not designs or not policies:
+        return _fail("sweep needs at least one design and one policy")
+
+    try:
+        engine = _make_engine(args)
+    except ValueError as exc:  # e.g. --store pointing at a non-store file
+        return _fail(str(exc))
+    try:
+        ctx = ExperimentContext(engine=engine)
+        if args.workloads == "pool" or args.workloads.startswith("pool:"):
+            _, sep, count = args.workloads.partition(":")
+            try:
+                workloads = list(ctx.workload_pool(
+                    int(count) if sep else None
+                ))
+            except ValueError:
+                return _fail(f"bad pool size in {args.workloads!r}")
+        else:
+            try:
+                workloads = [
+                    find_workload(name.strip())
+                    for name in args.workloads.split(",") if name.strip()
+                ]
+            except KeyError as exc:
+                return _fail(str(exc.args[0]))
+        if not workloads:
+            return _fail("sweep needs at least one workload")
+
+        ctx.prefetch([
+            request
+            for spec in workloads
+            for _, design in designs
+            for policy in policies
+            for request in ctx.plan_speedup(spec, design, policy)
+        ])
+        result = FigureResult(
+            "Sweep",
+            f"speedup over no-prefetching baseline "
+            f"({len(workloads)} workloads)",
+        )
+        from .experiments.runner import geomean
+
+        columns = [
+            (f"{dname}/{policy}", design, policy)
+            for dname, design in designs for policy in policies
+        ]
+        per_column = {label: [] for label, _, _ in columns}
+        for spec in workloads:
+            row = {}
+            for label, design, policy in columns:
+                speedup = ctx.speedup(spec, design, policy)
+                row[label] = speedup
+                per_column[label].append(speedup)
+            result.add(spec.name, **row)
+        result.add("geomean", **{
+            label: geomean(values) for label, values in per_column.items()
+        })
+        print(result.format_table())
+        print()
+        print(engine.counters.summary())
+    finally:
+        engine.close()
     return 0
 
 
@@ -127,6 +332,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "figure":
         return _cmd_figure(args.figure_id)
+    if args.command == "figures":
+        return _cmd_figures(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "classify":
         return _cmd_classify()
     raise AssertionError(f"unhandled command {args.command!r}")

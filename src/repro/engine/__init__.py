@@ -1,0 +1,42 @@
+"""Parallel experiment engine with a persistent, content-addressed store.
+
+The engine turns every simulation the experiment harness wants into an
+explicit, hashable *request*:
+
+* :mod:`repro.engine.jobs` — :class:`~repro.engine.jobs.RunRequest` (one
+  single-core simulation) and :class:`~repro.engine.jobs.MixRequest` (one
+  multi-core mix), each canonicalized into a stable content-hash key,
+  plus the JSON codecs for their results.
+* :mod:`repro.engine.store` — an on-disk SQLite result store mapping run
+  keys to serialized results, safe for concurrent writer processes.
+* :mod:`repro.engine.pool` — a ``ProcessPoolExecutor`` scheduler that
+  deduplicates in-flight requests and streams completion progress.
+* :mod:`repro.engine.api` — the :class:`~repro.engine.api.Engine` façade
+  (memo → store → execute, with hit/miss counters) and the batch helpers
+  ``run_many`` / ``sweep`` that :class:`repro.experiments.runner.\
+ExperimentContext` delegates to.
+
+Identical requests are executed exactly once per store lifetime: a cold
+``repro figures --all --jobs N`` fans misses out across N worker
+processes, and a warm rerun replays everything from the store without
+executing a single simulation.
+"""
+
+from .api import Engine, EngineCounters, run_many, sweep
+from .jobs import ENGINE_SCHEMA, MixRequest, RunRequest
+from .pool import SimulationPool
+from .store import ResultStore, StoreDecodeError, default_store_path
+
+__all__ = [
+    "ENGINE_SCHEMA",
+    "Engine",
+    "EngineCounters",
+    "MixRequest",
+    "ResultStore",
+    "RunRequest",
+    "SimulationPool",
+    "StoreDecodeError",
+    "default_store_path",
+    "run_many",
+    "sweep",
+]

@@ -1,0 +1,201 @@
+"""Batch execution façade: memo → store → (pool | inline) execution.
+
+:class:`Engine` is what the experiment harness talks to.  Every request
+resolves through three tiers:
+
+1. an in-memory memo (hits are free and shared across a whole figure
+   campaign),
+2. the persistent :class:`~repro.engine.store.ResultStore` (hits replay a
+   previous process's work), and
+3. execution — fanned out across worker processes by
+   :class:`~repro.engine.pool.SimulationPool` when ``jobs > 1``, inline
+   otherwise — after which the result is written back to the store.
+
+The engine counts hits and misses per tier
+(:class:`EngineCounters`); ``repro figures``/``repro sweep`` print the
+summary so a warm rerun can be *verified* to have executed zero
+simulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .jobs import Request, Result, decode_result, encode_result
+from .pool import ProgressFn, SimulationPool
+from .store import ResultStore, StoreDecodeError
+
+
+@dataclass
+class EngineCounters:
+    """Hit/miss accounting for one engine lifetime."""
+
+    memo_hits: int = 0
+    store_hits: int = 0
+    executed: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.memo_hits + self.store_hits + self.executed
+
+    def summary(self) -> str:
+        return (
+            f"engine: {self.executed} simulations executed, "
+            f"{self.store_hits} store hits, {self.memo_hits} memo hits"
+        )
+
+
+class Engine:
+    """Deduplicating, caching, parallel executor of simulation requests."""
+
+    def __init__(
+        self,
+        store: Optional[ResultStore] = None,
+        jobs: int = 1,
+        pool: Optional[SimulationPool] = None,
+        progress: Optional[ProgressFn] = None,
+    ) -> None:
+        self.store = store
+        self.jobs = max(1, int(jobs)) if pool is None else (pool.jobs or 1)
+        self._pool = pool
+        self._memo: Dict[str, Result] = {}
+        self.counters = EngineCounters()
+        #: default progress callback for batches that don't pass one.
+        self.progress = progress
+
+    # -- plumbing ----------------------------------------------------------
+
+    @property
+    def parallel(self) -> bool:
+        return self.jobs > 1 or self._pool is not None
+
+    @property
+    def pool(self) -> SimulationPool:
+        if self._pool is None:
+            self._pool = SimulationPool(jobs=self.jobs)
+        return self._pool
+
+    def _lookup(self, key: str) -> Optional[Result]:
+        """Resolve ``key`` through memo then store; None on miss."""
+        cached = self._memo.get(key)
+        if cached is not None:
+            self.counters.memo_hits += 1
+            return cached
+        if self.store is not None:
+            payload = self.store.get(key)
+            if payload is not None:
+                try:
+                    result = decode_result(payload)
+                except StoreDecodeError:
+                    self.store.delete(key)
+                else:
+                    self.counters.store_hits += 1
+                    self._memo[key] = result
+                    return result
+        return None
+
+    def _record(self, key: str, payload: dict) -> Result:
+        result = decode_result(payload)
+        if self.store is not None:
+            self.store.put(key, payload)
+        self._memo[key] = result
+        self.counters.executed += 1
+        return result
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, request: Request) -> Result:
+        """Resolve one request (inline execution on a miss)."""
+        key = request.key()
+        cached = self._lookup(key)
+        if cached is not None:
+            return cached
+        return self._record(key, encode_result(request.execute()))
+
+    def run_many(
+        self,
+        requests: Sequence[Request],
+        progress: Optional[ProgressFn] = None,
+    ) -> List[Result]:
+        """Resolve a batch, executing misses in parallel when enabled.
+
+        Duplicate requests are resolved once; the returned list matches
+        the input order (including duplicates).
+        """
+        if progress is None:
+            progress = self.progress
+        keyed: List[Tuple[str, Request]] = [(r.key(), r) for r in requests]
+        misses: Dict[str, Request] = {}
+        for key, request in keyed:
+            if key not in misses and self._lookup(key) is None:
+                misses[key] = request
+        if misses:
+            pairs = list(misses.items())
+            if self.parallel:
+                payloads = self.pool.run_batch(pairs, progress=progress)
+                for key, payload in payloads.items():
+                    self._record(key, payload)
+            else:
+                for done, (key, request) in enumerate(pairs, start=1):
+                    self._record(key, encode_result(request.execute()))
+                    if progress is not None:
+                        progress(done, len(pairs), key)
+        return [self._memo[key] for key, _ in keyed]
+
+    def sweep(
+        self,
+        requests: Iterable[Request],
+        progress: Optional[ProgressFn] = None,
+    ) -> List[Tuple[Request, Result]]:
+        """Resolve a request cross-product; returns (request, result) pairs."""
+        batch = list(requests)
+        results = self.run_many(batch, progress=progress)
+        return list(zip(batch, results))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        if self.store is not None:
+            self.store.close()
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# module-level conveniences
+# ---------------------------------------------------------------------------
+
+def run_many(
+    requests: Sequence[Request],
+    jobs: int = 1,
+    store: Optional[ResultStore] = None,
+    progress: Optional[ProgressFn] = None,
+) -> List[Result]:
+    """One-shot batch execution with a throwaway engine."""
+    engine = Engine(store=store, jobs=jobs)
+    try:
+        return engine.run_many(requests, progress=progress)
+    finally:
+        if engine._pool is not None:
+            engine._pool.close()
+
+
+def sweep(
+    requests: Iterable[Request],
+    jobs: int = 1,
+    store: Optional[ResultStore] = None,
+    progress: Optional[ProgressFn] = None,
+) -> List[Tuple[Request, Result]]:
+    """One-shot request sweep with a throwaway engine."""
+    engine = Engine(store=store, jobs=jobs)
+    try:
+        return engine.sweep(requests, progress=progress)
+    finally:
+        if engine._pool is not None:
+            engine._pool.close()

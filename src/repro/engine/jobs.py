@@ -1,0 +1,307 @@
+"""Simulation requests and their content-addressed identity.
+
+A *request* captures everything needed to reproduce one simulation —
+workload spec, trace length, cache-design signature, coordination policy
+(and its full configuration), epoch length and warm-up fraction — and
+canonicalizes it into a stable content-hash key.  Two requests with the
+same key are guaranteed to produce bit-identical results (every generator
+and policy in this repo is deterministically seeded), so the key doubles
+as the address in the persistent result store and as the deduplication
+handle for in-flight work.
+
+Requests are plain frozen dataclasses: picklable (they cross the process
+boundary to pool workers) and executable anywhere via :meth:`execute`.
+
+The module also holds the JSON codecs that serialize
+:class:`~repro.sim.simulator.SimulationResult` /
+:class:`~repro.sim.multicore.MultiCoreResult` for the store.  JSON floats
+round-trip exactly (``repr`` semantics), so a decoded result reproduces
+the original tables byte for byte.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields
+from typing import List, Optional, Tuple, Union
+
+from ..core.config import AthenaConfig, RewardWeights
+from ..policies.base import CoordinationAction
+from ..policies.registry import make_policy
+from ..sim.multicore import CoreResult, MultiCoreResult, MultiCoreSimulator
+from ..sim.simulator import SimulationResult, Simulator
+from ..sim.stats import EpochTelemetry, SimStats
+from ..workloads.suites import WorkloadSpec, build_trace
+from .store import StoreDecodeError
+
+#: bump when the simulator's observable behaviour or the payload layout
+#: changes: it is mixed into every request key, so old store entries
+#: become unreachable (and are recomputed) instead of serving stale data.
+ENGINE_SCHEMA = 1
+
+
+# ---------------------------------------------------------------------------
+# canonicalization
+# ---------------------------------------------------------------------------
+
+def _canonical_spec(spec: WorkloadSpec) -> dict:
+    return {
+        "name": spec.name,
+        "suite": spec.suite,
+        "pattern": spec.pattern,
+        "seed": spec.seed,
+        "params": [[k, v] for k, v in spec.params],
+    }
+
+
+def _canonical_design(design) -> dict:
+    # Mirrors CacheDesign.signature(): the display name is cosmetic and
+    # must not split the cache (e.g. "CD1-static-0-popet" == "CD1-ocp-only").
+    return {
+        "prefetchers": list(design.prefetcher_names),
+        "ocp": design.ocp_name,
+        "bandwidth_gbps": design.bandwidth_gbps,
+        "ocp_issue_latency": design.ocp_issue_latency,
+    }
+
+
+def _canonical_config(config: Optional[AthenaConfig]) -> Optional[dict]:
+    if config is None:
+        return None
+    out = {}
+    for f in fields(config):
+        value = getattr(config, f.name)
+        if isinstance(value, RewardWeights):
+            value = {w.name: getattr(value, w.name) for w in fields(value)}
+        elif isinstance(value, tuple):
+            value = list(value)
+        out[f.name] = value
+    return out
+
+
+def _digest(payload: dict) -> str:
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      default=repr)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _build_policy(policy_name: str, athena_config: Optional[AthenaConfig]):
+    if policy_name == "athena" and athena_config is not None:
+        from ..policies.athena import AthenaPolicy
+
+        return AthenaPolicy(athena_config)
+    return make_policy(policy_name)
+
+
+# ---------------------------------------------------------------------------
+# requests
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One single-core simulation, content-addressed.
+
+    ``design`` is a :class:`~repro.experiments.configs.CacheDesign`; it is
+    typed loosely to keep this module below the experiments layer.
+    """
+
+    spec: WorkloadSpec
+    trace_length: int
+    design: object
+    policy_name: str = "none"
+    athena_config: Optional[AthenaConfig] = None
+    epoch_length: int = 250
+    warmup_fraction: float = 0.2
+
+    def _effective_config(self) -> Optional[AthenaConfig]:
+        """The configuration the run actually uses.
+
+        ``athena`` with no explicit config runs the default
+        :class:`AthenaConfig`, so both spellings must share one key.
+        Non-athena policies carry no config at all.
+        """
+        if self.policy_name != "athena":
+            return None
+        return self.athena_config if self.athena_config is not None \
+            else AthenaConfig()
+
+    def canonical(self) -> dict:
+        """JSON-able canonical form; hashed by :meth:`key`."""
+        return {
+            "schema": ENGINE_SCHEMA,
+            "kind": "run",
+            "workload": _canonical_spec(self.spec),
+            "trace_length": self.trace_length,
+            "design": _canonical_design(self.design),
+            "policy": self.policy_name,
+            "config": _canonical_config(self._effective_config()),
+            "epoch_length": self.epoch_length,
+            "warmup_fraction": self.warmup_fraction,
+        }
+
+    def key(self) -> str:
+        """Stable content-hash identity (sha256 hex)."""
+        return _digest(self.canonical())
+
+    def execute(self) -> SimulationResult:
+        """Run the simulation described by this request."""
+        from ..experiments.configs import build_hierarchy
+
+        trace = build_trace(self.spec, self.trace_length)
+        hierarchy = build_hierarchy(self.design)
+        policy = _build_policy(self.policy_name, self.athena_config)
+        return Simulator(
+            trace,
+            hierarchy,
+            policy=policy,
+            epoch_length=self.epoch_length,
+            warmup_fraction=self.warmup_fraction,
+        ).run()
+
+
+@dataclass(frozen=True)
+class MixRequest:
+    """One multi-core mix simulation, content-addressed."""
+
+    workloads: Tuple[WorkloadSpec, ...]
+    trace_length: int
+    design: object
+    policy_name: str = "none"
+    epoch_length: int = 250
+    warmup_fraction: float = 0.0
+
+    def canonical(self) -> dict:
+        return {
+            "schema": ENGINE_SCHEMA,
+            "kind": "mix",
+            "workloads": [_canonical_spec(s) for s in self.workloads],
+            "trace_length": self.trace_length,
+            "design": _canonical_design(self.design),
+            "policy": self.policy_name,
+            "epoch_length": self.epoch_length,
+            "warmup_fraction": self.warmup_fraction,
+        }
+
+    def key(self) -> str:
+        return _digest(self.canonical())
+
+    def execute(self) -> MultiCoreResult:
+        from ..experiments.configs import build_hierarchy, system_for
+
+        params = system_for(self.design)
+        traces = [build_trace(s, self.trace_length) for s in self.workloads]
+        design = self.design
+        sim = MultiCoreSimulator(
+            traces=traces,
+            params=params,
+            hierarchy_factory=lambda p, llc, dram: build_hierarchy(
+                design, params=p, llc=llc, dram=dram
+            ),
+            policy_factory=lambda: _build_policy(self.policy_name, None),
+            instructions_per_core=self.trace_length,
+            epoch_length=self.epoch_length,
+            warmup_fraction=self.warmup_fraction,
+        )
+        return sim.run()
+
+
+Request = Union[RunRequest, MixRequest]
+Result = Union[SimulationResult, MultiCoreResult]
+
+
+# ---------------------------------------------------------------------------
+# result codecs
+# ---------------------------------------------------------------------------
+
+def _dataclass_dict(obj) -> dict:
+    return {f.name: getattr(obj, f.name) for f in fields(obj)}
+
+
+def _stats_from(payload: dict) -> SimStats:
+    return SimStats(**payload)
+
+
+def encode_result(result: Result) -> dict:
+    """Serialize a simulation result into a JSON-able payload."""
+    if isinstance(result, MultiCoreResult):
+        return {
+            "schema": ENGINE_SCHEMA,
+            "kind": "mix",
+            "cores": [
+                {
+                    "workload": core.workload,
+                    "instructions": core.instructions,
+                    "cycles": core.cycles,
+                    "stats": _dataclass_dict(core.stats),
+                }
+                for core in result.cores
+            ],
+        }
+    return {
+        "schema": ENGINE_SCHEMA,
+        "kind": "run",
+        "workload": result.workload,
+        "instructions": result.instructions,
+        "cycles": result.cycles,
+        "stats": _dataclass_dict(result.stats),
+        "epochs": [_dataclass_dict(epoch) for epoch in result.epochs],
+        "actions": [
+            {
+                "prefetchers_enabled": list(action.prefetchers_enabled),
+                "ocp_enabled": action.ocp_enabled,
+                "degree_fraction": action.degree_fraction,
+            }
+            for action in result.actions
+        ],
+    }
+
+
+def decode_result(payload: dict) -> Result:
+    """Rebuild a result from :func:`encode_result` output.
+
+    Raises :exc:`~repro.engine.store.StoreDecodeError` on any malformed
+    or stale payload so callers treat the entry as a cache miss.
+    """
+    try:
+        if payload.get("schema") != ENGINE_SCHEMA:
+            raise StoreDecodeError(
+                f"stale payload schema {payload.get('schema')!r}"
+            )
+        kind = payload["kind"]
+        if kind == "mix":
+            cores = [
+                CoreResult(
+                    workload=core["workload"],
+                    instructions=core["instructions"],
+                    cycles=core["cycles"],
+                    stats=_stats_from(core["stats"]),
+                )
+                for core in payload["cores"]
+            ]
+            return MultiCoreResult(cores=cores)
+        if kind != "run":
+            raise StoreDecodeError(f"unknown payload kind {kind!r}")
+        epochs: List[EpochTelemetry] = [
+            EpochTelemetry(**epoch) for epoch in payload["epochs"]
+        ]
+        actions: List[CoordinationAction] = [
+            CoordinationAction(
+                prefetchers_enabled=tuple(action["prefetchers_enabled"]),
+                ocp_enabled=action["ocp_enabled"],
+                degree_fraction=action["degree_fraction"],
+            )
+            for action in payload["actions"]
+        ]
+        return SimulationResult(
+            workload=payload["workload"],
+            stats=_stats_from(payload["stats"]),
+            instructions=payload["instructions"],
+            cycles=payload["cycles"],
+            epochs=epochs,
+            actions=actions,
+        )
+    except StoreDecodeError:
+        raise
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise StoreDecodeError(f"malformed result payload: {exc}") from exc

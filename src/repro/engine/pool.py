@@ -1,0 +1,93 @@
+"""Process-pool scheduler for simulation requests.
+
+Executes request misses in worker processes via
+:class:`concurrent.futures.ProcessPoolExecutor`, deduplicating in-flight
+requests by content key (two batches racing for the same key share one
+future) and streaming completion progress to an optional callback.
+
+Workers return the *serialized* result payload rather than the live
+object: the parent decodes it through the same codec the store uses, so
+parallel and store-replayed runs traverse one code path and stay
+bit-identical to serial execution.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from .jobs import Request, encode_result
+
+#: progress callback: (completed_count, total, request_key)
+ProgressFn = Callable[[int, int, str], None]
+
+
+def _execute_request(request: Request) -> dict:
+    """Worker entry point: run the simulation, return its payload."""
+    return encode_result(request.execute())
+
+
+class SimulationPool:
+    """Deduplicating ProcessPoolExecutor wrapper."""
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        self.jobs = jobs if jobs else (os.cpu_count() or 1)
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._inflight: Dict[str, Future] = {}
+
+    @property
+    def executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._executor
+
+    def submit(self, key: str, request: Request) -> Future:
+        """Submit one request, reusing any in-flight future for ``key``."""
+        future = self._inflight.get(key)
+        if future is not None and not future.done():
+            return future
+        future = self.executor.submit(_execute_request, request)
+        self._inflight[key] = future
+        return future
+
+    def run_batch(
+        self,
+        keyed_requests: Sequence[Tuple[str, Request]],
+        progress: Optional[ProgressFn] = None,
+    ) -> Dict[str, dict]:
+        """Execute a batch of (key, request) pairs; returns key→payload.
+
+        Duplicate keys inside the batch (or racing with another batch)
+        are executed once.  Completion order is whatever the pool
+        produces; the caller reassembles by key.
+        """
+        futures: Dict[str, Future] = {}
+        for key, request in keyed_requests:
+            if key not in futures:
+                futures[key] = self.submit(key, request)
+        results: Dict[str, dict] = {}
+        pending = {future: key for key, future in futures.items()}
+        total = len(futures)
+        waiting = set(pending)
+        while waiting:
+            done, waiting = wait(waiting, return_when=FIRST_COMPLETED)
+            for future in done:
+                key = pending[future]
+                results[key] = future.result()
+                self._inflight.pop(key, None)
+                if progress is not None:
+                    progress(len(results), total, key)
+        return results
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        self._inflight.clear()
+
+    def __enter__(self) -> "SimulationPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,149 @@
+"""Persistent, content-addressed result store.
+
+A thin SQLite key→payload table: the key is a request's content hash
+(:meth:`repro.engine.jobs.RunRequest.key`), the payload is the JSON
+serialization of its result.  SQLite in WAL mode with a busy timeout
+makes the store safe for concurrent writer *processes* (parallel CI
+steps, several ``repro`` invocations sharing one cache): writers of the
+same key race benignly because identical keys imply identical payloads.
+
+The store is a cache, never a source of truth — any unreadable database
+file or undecodable row is discarded and the run recomputed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import sqlite3
+import time
+from typing import Iterator, Optional, Union
+
+PathLike = Union[str, pathlib.Path]
+
+
+class StoreDecodeError(RuntimeError):
+    """A store payload could not be decoded (corrupt or stale entry)."""
+
+
+def default_store_path() -> pathlib.Path:
+    """``$REPRO_STORE`` if set, else ``~/.cache/repro/results.sqlite``."""
+    env = os.environ.get("REPRO_STORE")
+    if env:
+        return pathlib.Path(env)
+    cache_home = os.environ.get("XDG_CACHE_HOME")
+    base = pathlib.Path(cache_home) if cache_home \
+        else pathlib.Path.home() / ".cache"
+    return base / "repro" / "results.sqlite"
+
+
+class ResultStore:
+    """On-disk run-key → serialized-result mapping."""
+
+    _SCHEMA = """
+        CREATE TABLE IF NOT EXISTS results (
+            key     TEXT PRIMARY KEY,
+            payload TEXT NOT NULL,
+            created REAL NOT NULL
+        )
+    """
+
+    def __init__(self, path: Optional[PathLike] = None) -> None:
+        self.path = pathlib.Path(path) if path else default_store_path()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            self._conn = self._connect()
+        except sqlite3.DatabaseError:
+            # A truncated/corrupt cache file is worthless; recreate it —
+            # but only something that ever *was* a SQLite database (or an
+            # empty file).  A mistyped --store/REPRO_STORE pointing at a
+            # real file must error out, not destroy it.
+            if not self._looks_like_sqlite():
+                raise ValueError(
+                    f"{self.path} exists and is not a SQLite result store; "
+                    "refusing to overwrite it"
+                ) from None
+            self.path.unlink(missing_ok=True)
+            self._conn = self._connect()
+
+    def _looks_like_sqlite(self) -> bool:
+        try:
+            header = self.path.read_bytes()[:16]
+        except OSError:
+            return True  # vanished/unreadable: nothing to protect
+        return not header or header.startswith(b"SQLite format 3")
+
+    def _connect(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(str(self.path), timeout=30.0)
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        conn.execute(self._SCHEMA)
+        conn.commit()
+        return conn
+
+    # -- raw access --------------------------------------------------------
+
+    def get(self, key: str) -> Optional[dict]:
+        """The decoded JSON payload for ``key``, or ``None``.
+
+        A row whose payload is not valid JSON is deleted and reported as
+        a miss — partial writes from a killed process must never crash a
+        later reader.
+        """
+        row = self._conn.execute(
+            "SELECT payload FROM results WHERE key = ?", (key,)
+        ).fetchone()
+        if row is None:
+            return None
+        try:
+            payload = json.loads(row[0])
+        except (json.JSONDecodeError, TypeError):
+            self.delete(key)
+            return None
+        if not isinstance(payload, dict):
+            self.delete(key)
+            return None
+        return payload
+
+    def put(self, key: str, payload: dict) -> None:
+        blob = json.dumps(payload, separators=(",", ":"))
+        self._conn.execute(
+            "INSERT OR REPLACE INTO results (key, payload, created) "
+            "VALUES (?, ?, ?)",
+            (key, blob, time.time()),
+        )
+        self._conn.commit()
+
+    def delete(self, key: str) -> None:
+        self._conn.execute("DELETE FROM results WHERE key = ?", (key,))
+        self._conn.commit()
+
+    def keys(self) -> Iterator[str]:
+        for (key,) in self._conn.execute("SELECT key FROM results"):
+            yield key
+
+    def __len__(self) -> int:
+        (count,) = self._conn.execute(
+            "SELECT COUNT(*) FROM results"
+        ).fetchone()
+        return count
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def clear(self) -> None:
+        self._conn.execute("DELETE FROM results")
+        self._conn.commit()
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"ResultStore({str(self.path)!r}, entries={len(self)})"

@@ -77,11 +77,22 @@ def select_features(
     best_so_far = 0.0
     remaining = list(candidates)
     while remaining and len(selected) < max_features:
-        scored = []
-        for feature in remaining:
-            config = base_config.with_updates(
+        candidate_configs = [
+            base_config.with_updates(
                 features=tuple(selected + [feature]), stateless=False
             )
+            for feature in remaining
+        ]
+        # One engine batch per selection round: every candidate feature's
+        # full tuning-set evaluation fans out in parallel.
+        ctx.prefetch([
+            request
+            for config in candidate_configs
+            for spec in workloads
+            for request in ctx.plan_speedup(spec, design, "athena", config)
+        ])
+        scored = []
+        for config, feature in zip(candidate_configs, remaining):
             scored.append((_score(ctx, design, workloads, config), feature))
         scored.sort(reverse=True)
         best_score, best_feature = scored[0]
@@ -108,28 +119,42 @@ def grid_search(
     best_config: Optional[AthenaConfig] = None
     best_score = -1.0
     trace: List[Tuple[Dict[str, float], float]] = []
-    for alpha in alphas:
-        for gamma in gammas:
-            for epsilon in epsilons:
-                for cycle_weight in cycle_weights:
-                    config = AthenaConfig(
-                        alpha=alpha,
-                        gamma=gamma,
-                        epsilon=epsilon,
-                        features=features,
-                        reward_weights=RewardWeights(cycles=cycle_weight),
-                    )
-                    score = _score(ctx, design, workloads, config)
-                    point = {
-                        "alpha": alpha,
-                        "gamma": gamma,
-                        "epsilon": epsilon,
-                        "cycle_weight": cycle_weight,
-                    }
-                    trace.append((point, score))
-                    if score > best_score:
-                        best_score = score
-                        best_config = config
+    grid = [
+        (alpha, gamma, epsilon, cycle_weight)
+        for alpha in alphas
+        for gamma in gammas
+        for epsilon in epsilons
+        for cycle_weight in cycle_weights
+    ]
+    configs = [
+        AthenaConfig(
+            alpha=alpha,
+            gamma=gamma,
+            epsilon=epsilon,
+            features=features,
+            reward_weights=RewardWeights(cycles=cycle_weight),
+        )
+        for alpha, gamma, epsilon, cycle_weight in grid
+    ]
+    # The whole grid is one engine batch (the classic sweep shape).
+    ctx.prefetch([
+        request
+        for config in configs
+        for spec in workloads
+        for request in ctx.plan_speedup(spec, design, "athena", config)
+    ])
+    for (alpha, gamma, epsilon, cycle_weight), config in zip(grid, configs):
+        score = _score(ctx, design, workloads, config)
+        point = {
+            "alpha": alpha,
+            "gamma": gamma,
+            "epsilon": epsilon,
+            "cycle_weight": cycle_weight,
+        }
+        trace.append((point, score))
+        if score > best_score:
+            best_score = score
+            best_config = config
     assert best_config is not None
     return best_config, best_score, trace
 

@@ -18,21 +18,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.config import AthenaConfig
-from ..policies.athena import AthenaPolicy
-from ..policies.base import NaivePolicy
-from ..policies.hpac import HpacPolicy
-from ..policies.mab import MabPolicy
-from ..sim.multicore import MultiCoreSimulator
-from ..sim.simulator import Simulator
 from ..workloads.mixes import MIX_CATEGORIES, build_mixes
-from ..workloads.suites import (
-    WorkloadSpec,
-    build_trace,
-    google_workloads,
-    tuning_workloads,
-)
-from .configs import CacheDesign, build_hierarchy, system_for
-from .runner import ExperimentContext, geomean, make_policy
+from ..workloads.suites import WorkloadSpec, google_workloads
+from .configs import CacheDesign
+from .runner import ExperimentContext, geomean
 
 
 @dataclass
@@ -97,6 +86,19 @@ def _suite_groups(workloads: Sequence[WorkloadSpec]):
     return sorted(groups.items())
 
 
+def _plan_speedups(ctx: ExperimentContext, workloads, pairs):
+    """Engine requests for every (workload × (design, policy)) speedup."""
+    plan = []
+    for spec in workloads:
+        for design, policy in pairs:
+            plan.extend(ctx.plan_speedup(spec, design, policy))
+    return plan
+
+
+_POLICY_ROW_MAPPING = {"Naive": "none", "HPAC": "hpac", "MAB": "mab",
+                       "Athena": "athena"}
+
+
 def _speedup_figure(
     ctx: ExperimentContext,
     figure_id: str,
@@ -109,6 +111,15 @@ def _speedup_figure(
     """Shared driver for the CD1-CD4 bar figures (7, 9, 10, 11, 19)."""
     result = FigureResult(figure_id, title)
     workloads = ctx.workload_pool()
+    # Submit the figure's whole run matrix as one engine batch: the
+    # classification reference runs, every series cell, and the StaticBest
+    # combinations all fan out in parallel before the serial loop below.
+    plan = ctx.plan_classify(design, workloads)
+    plan += _plan_speedups(ctx, workloads, list(series.values()))
+    if include_static_best:
+        for spec in workloads:
+            plan.extend(ctx.plan_static_best(spec, design))
+    ctx.prefetch(plan)
     groups = []
     if include_suites:
         groups.extend(_suite_groups(workloads))
@@ -136,6 +147,10 @@ def fig01_motivation_lines(ctx: Optional[ExperimentContext] = None) -> FigureRes
     ctx = ctx or ExperimentContext()
     design = CacheDesign.cd1()
     workloads = ctx.workload_pool()
+    ctx.prefetch(_plan_speedups(
+        ctx, workloads,
+        [(design.only_ocp(), "none"), (design.only_prefetchers(), "none")],
+    ))
     points = []
     for spec in workloads:
         points.append(
@@ -185,10 +200,15 @@ def fig03_offchip_fill_accuracy(ctx: Optional[ExperimentContext] = None) -> Figu
     result = FigureResult(
         "Fig3", "Fraction of off-chip prefetch fills that are inaccurate"
     )
-    for label, design, level in (
+    levels = (
         ("IPCP@L1D", CacheDesign.cd2().only_prefetchers(), "l1d"),
         ("Pythia@L2C", CacheDesign.cd1().only_prefetchers(), "l2c"),
-    ):
+    )
+    ctx.prefetch([
+        ctx.plan_run(spec, design)
+        for _, design, _ in levels for spec in workloads
+    ])
+    for label, design, level in levels:
         fractions = []
         for spec in workloads:
             stats = ctx.run(spec, design).result.stats
@@ -265,6 +285,10 @@ def fig08a_category_boxes(ctx: Optional[ExperimentContext] = None) -> FigureResu
         "MAB": (design, "mab"),
         "Athena": (design, "athena"),
     }
+    ctx.prefetch(
+        ctx.plan_classify(design, workloads)
+        + _plan_speedups(ctx, workloads, list(configs.values()))
+    )
     for category, group in _categories(ctx, design, workloads):
         for name, (variant, policy) in configs.items():
             speedups = sorted(
@@ -368,10 +392,10 @@ _CD1_POLICIES = ("Naive", "HPAC", "MAB", "Athena")
 
 def _policy_row(ctx: ExperimentContext, design: CacheDesign,
                 workloads) -> Dict[str, float]:
-    mapping = {"Naive": "none", "HPAC": "hpac", "MAB": "mab",
-               "Athena": "athena"}
     return {
-        label: ctx.geomean_speedup(workloads, design, mapping[label])
+        label: ctx.geomean_speedup(
+            workloads, design, _POLICY_ROW_MAPPING[label]
+        )
         for label in _CD1_POLICIES
     }
 
@@ -383,7 +407,12 @@ def fig12a_l2c_prefetcher_sweep(ctx: Optional[ExperimentContext] = None) -> Figu
     result = FigureResult(
         "Fig12a", "Sensitivity to the L2C prefetcher type (CD1)"
     )
-    for prefetcher in ("pythia", "spp_ppf", "mlop", "sms"):
+    prefetchers = ("pythia", "spp_ppf", "mlop", "sms")
+    ctx.prefetch(_plan_speedups(ctx, workloads, [
+        (CacheDesign.cd1(l2c=p), policy)
+        for p in prefetchers for policy in _POLICY_ROW_MAPPING.values()
+    ]))
+    for prefetcher in prefetchers:
         design = CacheDesign.cd1(l2c=prefetcher)
         result.add(prefetcher, **_policy_row(ctx, design, workloads))
     return result
@@ -394,6 +423,14 @@ def fig12b_ocp_sweep(ctx: Optional[ExperimentContext] = None) -> FigureResult:
     ctx = ctx or ExperimentContext()
     workloads = ctx.workload_pool()
     result = FigureResult("Fig12b", "Sensitivity to the OCP type (CD1)")
+    ctx.prefetch(_plan_speedups(ctx, workloads, [
+        (CacheDesign.cd1(ocp=ocp), policy)
+        for ocp in ("popet", "hmp", "ttp")
+        for policy in (*_POLICY_ROW_MAPPING.values(),)
+    ] + [
+        (CacheDesign.cd1(ocp=ocp).only_ocp(), "none")
+        for ocp in ("popet", "hmp", "ttp")
+    ]))
     for ocp in ("popet", "hmp", "ttp"):
         design = CacheDesign.cd1(ocp=ocp)
         row = _policy_row(ctx, design, workloads)
@@ -411,6 +448,15 @@ def fig12c_ocp_latency_sweep(ctx: Optional[ExperimentContext] = None) -> FigureR
     result = FigureResult(
         "Fig12c", "Sensitivity to OCP request issue latency (CD1)"
     )
+    latency_designs = [
+        CacheDesign.cd1().with_ocp_issue_latency(latency)
+        for latency in (6, 18, 30)
+    ]
+    ctx.prefetch(_plan_speedups(ctx, workloads, [
+        (design, policy)
+        for design in latency_designs
+        for policy in _POLICY_ROW_MAPPING.values()
+    ] + [(design.only_ocp(), "none") for design in latency_designs]))
     for latency in (6, 18, 30):
         design = CacheDesign.cd1().with_ocp_issue_latency(latency)
         row = _policy_row(ctx, design, workloads)
@@ -428,6 +474,16 @@ def fig13_l1d_prefetcher_sweep(ctx: Optional[ExperimentContext] = None) -> Figur
     result = FigureResult(
         "Fig13", "Sensitivity to the L1D prefetcher type (CD4)"
     )
+    ctx.prefetch(_plan_speedups(ctx, workloads, [
+        pair
+        for l1d in ("ipcp", "berti")
+        for d in (CacheDesign.cd4(l1d=l1d),)
+        for pair in (
+            *((d, p) for p in _POLICY_ROW_MAPPING.values()),
+            (d, "tlp"),
+            (d.only_prefetchers(), "none"),
+        )
+    ]))
     for l1d in ("ipcp", "berti"):
         design = CacheDesign.cd4(l1d=l1d)
         row = _policy_row(ctx, design, workloads)
@@ -446,6 +502,17 @@ def fig14_bandwidth_sweep(ctx: Optional[ExperimentContext] = None) -> FigureResu
     result = FigureResult(
         "Fig14", "Sensitivity to main memory bandwidth (CD4)"
     )
+    ctx.prefetch(_plan_speedups(ctx, workloads, [
+        pair
+        for bandwidth in (1.6, 3.2, 6.4, 12.8)
+        for d in (CacheDesign.cd4(bandwidth_gbps=bandwidth),)
+        for pair in (
+            *((d, p) for p in _POLICY_ROW_MAPPING.values()),
+            (d, "tlp"),
+            (d.only_ocp(), "none"),
+            (d.only_prefetchers(), "none"),
+        )
+    ]))
     for bandwidth in (1.6, 3.2, 6.4, 12.8):
         design = CacheDesign.cd4(bandwidth_gbps=bandwidth)
         row = _policy_row(ctx, design, workloads)
@@ -464,33 +531,6 @@ def fig14_bandwidth_sweep(ctx: Optional[ExperimentContext] = None) -> FigureResu
 # Multi-core (Figures 15-16)
 # ---------------------------------------------------------------------------
 
-def _run_mix(ctx: ExperimentContext, mix, design: CacheDesign,
-             policy_name: str):
-    params = system_for(design)
-    traces = [
-        build_trace(spec, ctx.scale.trace_length) for spec in mix.workloads
-    ]
-    factories = {
-        "none": lambda: None,
-        "naive": NaivePolicy,
-        "hpac": HpacPolicy,
-        "mab": MabPolicy,
-        "athena": AthenaPolicy,
-    }
-    sim = MultiCoreSimulator(
-        traces=traces,
-        params=params,
-        hierarchy_factory=lambda p, llc, dram: build_hierarchy(
-            design, params=p, llc=llc, dram=dram
-        ),
-        policy_factory=factories[policy_name],
-        instructions_per_core=ctx.scale.trace_length,
-        epoch_length=ctx.scale.epoch_length,
-        warmup_fraction=ctx.scale.warmup_fraction,
-    )
-    return sim.run()
-
-
 def _multicore_figure(ctx: ExperimentContext, figure_id: str, title: str,
                       num_cores: int, mixes_per_category: int) -> FigureResult:
     design = CacheDesign.cd1()
@@ -498,13 +538,20 @@ def _multicore_figure(ctx: ExperimentContext, figure_id: str, title: str,
     mixes = build_mixes(num_cores, mixes_per_category)
     result = FigureResult(figure_id, title)
     policy_names = ("naive", "hpac", "mab", "athena")
+    ctx.prefetch(
+        [ctx.plan_mix(mix, baseline_design, "none") for mix in mixes]
+        + [
+            ctx.plan_mix(mix, design, policy)
+            for mix in mixes for policy in policy_names
+        ]
+    )
     per_category: Dict[str, Dict[str, List[float]]] = {
         c: {p: [] for p in policy_names} for c in MIX_CATEGORIES
     }
     for mix in mixes:
-        baseline = _run_mix(ctx, mix, baseline_design, "none")
+        baseline = ctx.run_mix(mix, baseline_design, "none")
         for policy in policy_names:
-            run = _run_mix(ctx, mix, design, policy)
+            run = ctx.run_mix(mix, design, policy)
             per_category[mix.category][policy].append(
                 run.weighted_speedup(baseline)
             )
@@ -562,13 +609,24 @@ def fig17_case_study(ctx: Optional[ExperimentContext] = None,
         ctx = ExperimentContext(ReproScale(
             "fig17", trace_length=24_000, workloads_per_figure=1,
             epoch_length=max(200, ctx.scale.epoch_length),
-        ))
+        ), engine=ctx.engine)
     spec = find_workload(workload)
     result = FigureResult(
         "Fig17",
         f"Athena action distribution on {workload} vs memory bandwidth",
     )
     seeds = (0x47EA, 0x51DE, 0x7357)
+    plan = []
+    for bandwidth in (3.2, 25.6):
+        design = CacheDesign.cd1(bandwidth_gbps=bandwidth)
+        plan.extend(
+            ctx.plan_run(spec, design, "athena", AthenaConfig(seed=seed))
+            for seed in seeds
+        )
+        plan += ctx.plan_speedup(spec, design, "athena",
+                                 AthenaConfig(seed=seeds[0]))
+        plan += ctx.plan_speedup(spec, design)
+    ctx.prefetch(plan)
     for bandwidth in (3.2, 25.6):
         design = CacheDesign.cd1(bandwidth_gbps=bandwidth)
         dist: Dict[str, float] = {
@@ -610,9 +668,6 @@ def fig18_ablation(ctx: Optional[ExperimentContext] = None) -> FigureResult:
     result = FigureResult(
         "Fig18", "Contribution of state features and reward components"
     )
-    result.add(
-        "MAB", speedup=ctx.geomean_speedup(workloads, design, "mab")
-    )
     feature_chain = [
         ("Stateless Athena (SA)", ()),
         ("SA+PA", ("prefetcher_accuracy",)),
@@ -626,6 +681,7 @@ def fig18_ablation(ctx: Optional[ExperimentContext] = None) -> FigureResult:
     from ..core.config import RewardWeights
 
     ipc_only_weights = RewardWeights(loads=0.0, mispredicted_branches=0.0)
+    chain_configs = []
     for label, features in feature_chain:
         config = AthenaConfig(
             stateless=not features,
@@ -638,6 +694,19 @@ def fig18_ablation(ctx: Optional[ExperimentContext] = None) -> FigureResult:
             # the DSE-tuned near-greedy epsilon.
             epsilon=0.1 if not features else AthenaConfig.epsilon,
         )
+        chain_configs.append((label, config))
+    ctx.prefetch([
+        request
+        for config in [None, *(c for _, c in chain_configs), AthenaConfig()]
+        for spec in workloads
+        for request in ctx.plan_speedup(
+            spec, design, "mab" if config is None else "athena", config
+        )
+    ])
+    result.add(
+        "MAB", speedup=ctx.geomean_speedup(workloads, design, "mab")
+    )
+    for label, config in chain_configs:
         result.add(
             label,
             speedup=ctx.geomean_speedup(workloads, design, "athena", config),
@@ -690,6 +759,15 @@ def fig20_memory_traffic(ctx: Optional[ExperimentContext] = None) -> FigureResul
         "MAB": (design, "mab"),
         "Athena": (design, "athena"),
     }
+    ctx.prefetch(
+        [ctx.plan_run(spec, design.without_mechanisms())
+         for spec in workloads]
+        + [
+            ctx.plan_run(spec, variant, policy)
+            for variant, policy in configs.values()
+            for spec in workloads
+        ]
+    )
     for name, (variant, policy) in configs.items():
         request_ratios = []
         latency_ratios = []
@@ -733,7 +811,7 @@ def fig21_unseen_workloads(ctx: Optional[ExperimentContext] = None) -> FigureRes
             "fig21", trace_length=int(ctx.scale.trace_length * 3.5),
             workloads_per_figure=ctx.scale.workloads_per_figure,
             epoch_length=ctx.scale.epoch_length,
-        ))
+        ), engine=ctx.engine)
     design = CacheDesign.cd4()
     result = FigureResult(
         "Fig21", "Speedup on unseen datacenter workloads (CD4)"
@@ -746,6 +824,7 @@ def fig21_unseen_workloads(ctx: Optional[ExperimentContext] = None) -> FigureRes
         "Athena": (design, "athena"),
     }
     workloads = list(google_workloads())
+    ctx.prefetch(_plan_speedups(ctx, workloads, list(series.values())))
     for spec in workloads:
         row = {
             name: ctx.speedup(spec, variant, policy)

@@ -1,10 +1,15 @@
 """Experiment runner: policies, cached runs, speedups, and the StaticBest
 oracle.
 
-The :class:`ExperimentContext` memoizes simulation runs keyed by
-(workload, trace length, system signature, policy), so figure drivers that
-share configurations (e.g. every CD1 figure needs the same baseline runs)
-pay for each simulation once per process.
+:class:`ExperimentContext` delegates every simulation to a
+:class:`repro.engine.api.Engine`, which memoizes runs by content-hash key
+(workload, trace length, system signature, policy, config), optionally
+persists them in an on-disk store, and — when constructed with
+``jobs > 1`` — executes cache misses across worker processes.  Figure
+drivers *plan* their full run matrix up front (:meth:`plan_speedup`,
+:meth:`plan_static_best`, :meth:`plan_classify`) and submit it as one
+batch via :meth:`prefetch`, so a whole figure fans out in parallel while
+the serial driver code below stays byte-for-byte compatible.
 """
 
 from __future__ import annotations
@@ -14,46 +19,29 @@ from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.config import AthenaConfig
-from ..policies.athena import AthenaPolicy
-from ..policies.base import CoordinationPolicy, FixedPolicy, NaivePolicy
-from ..policies.hpac import HpacPolicy
-from ..policies.mab import MabPolicy
-from ..policies.tlp import TlpPolicy
-from ..sim.simulator import SimulationResult, Simulator
+from ..engine.api import Engine
+from ..engine.jobs import MixRequest, Request, RunRequest
+from ..policies.registry import POLICY_FACTORIES, PolicyFactory, make_policy
+from ..sim.multicore import MultiCoreResult
+from ..sim.simulator import SimulationResult
+from ..workloads.mixes import WorkloadMix
 from ..workloads.suites import (
     ReproScale,
     WorkloadSpec,
     active_scale,
-    build_trace,
     evaluation_workloads,
     representative_subset,
 )
-from .configs import CacheDesign, build_hierarchy
+from .configs import CacheDesign
 
-PolicyFactory = Callable[[], Optional[CoordinationPolicy]]
-
-#: policy registry used by figure drivers and the CLI examples.
-POLICY_FACTORIES: Dict[str, PolicyFactory] = {
-    "none": lambda: None,
-    "naive": NaivePolicy,
-    "hpac": HpacPolicy,
-    "mab": MabPolicy,
-    "tlp": TlpPolicy,
-    "athena": AthenaPolicy,
-}
-
-
-def make_policy(name: str, **kwargs) -> Optional[CoordinationPolicy]:
-    """Instantiate a coordination policy by registry name."""
-    if name == "athena" and kwargs:
-        return AthenaPolicy(AthenaConfig(**kwargs))
-    try:
-        factory = POLICY_FACTORIES[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown policy {name!r}; valid: {sorted(POLICY_FACTORIES)}"
-        ) from None
-    return factory()
+__all__ = [
+    "ExperimentContext",
+    "POLICY_FACTORIES",
+    "PolicyFactory",
+    "RunRecord",
+    "geomean",
+    "make_policy",
+]
 
 
 def geomean(values: Sequence[float]) -> float:
@@ -79,9 +67,105 @@ class RunRecord:
 class ExperimentContext:
     """Run cache + convenience helpers shared by all figure drivers."""
 
-    def __init__(self, scale: Optional[ReproScale] = None) -> None:
+    def __init__(
+        self,
+        scale: Optional[ReproScale] = None,
+        engine: Optional[Engine] = None,
+    ) -> None:
         self.scale = scale if scale is not None else active_scale()
-        self._cache: Dict[tuple, RunRecord] = {}
+        self.engine = engine if engine is not None else Engine()
+        #: RunRecord wrappers by request key, so repeated ctx.run() calls
+        #: return the identical record object (the engine memoizes the
+        #: underlying result; this keeps the old identity semantics).
+        self._records: Dict[str, RunRecord] = {}
+
+    # -- request planning ------------------------------------------------------
+
+    def plan_run(
+        self,
+        spec: WorkloadSpec,
+        design: CacheDesign,
+        policy_name: str = "none",
+        athena_config: Optional[AthenaConfig] = None,
+    ) -> RunRequest:
+        """The engine request :meth:`run` would resolve."""
+        return RunRequest(
+            spec=spec,
+            trace_length=self.scale.trace_length,
+            design=design,
+            policy_name=policy_name,
+            athena_config=athena_config,
+            epoch_length=self.scale.epoch_length,
+            warmup_fraction=self.scale.warmup_fraction,
+        )
+
+    def plan_speedup(
+        self,
+        spec: WorkloadSpec,
+        design: CacheDesign,
+        policy_name: str = "none",
+        athena_config: Optional[AthenaConfig] = None,
+    ) -> List[RunRequest]:
+        """Every request :meth:`speedup` needs (baseline + policy runs)."""
+        requests = [self.plan_run(spec, design.without_mechanisms())]
+        if policy_name == "athena":
+            config = athena_config if athena_config is not None \
+                else AthenaConfig()
+            for offset in self._SEED_STREAM[: max(1, self.scale.policy_seeds)]:
+                seeded = config.with_updates(seed=config.seed ^ offset)
+                requests.append(
+                    self.plan_run(spec, design, policy_name, seeded)
+                )
+        else:
+            requests.append(
+                self.plan_run(spec, design, policy_name, athena_config)
+            )
+        return requests
+
+    def plan_static_best(
+        self, spec: WorkloadSpec, design: CacheDesign
+    ) -> List[RunRequest]:
+        """Every request :meth:`static_best_speedup` needs."""
+        requests = [self.plan_run(spec, design.without_mechanisms())]
+        for combo in self.static_combinations(design):
+            if not combo.prefetcher_names and combo.ocp_name is None:
+                continue
+            requests.append(self.plan_run(spec, combo))
+        return requests
+
+    def plan_classify(
+        self, design: CacheDesign, workloads: Sequence[WorkloadSpec]
+    ) -> List[RunRequest]:
+        """Every request :meth:`classify_workloads` needs."""
+        reference = CacheDesign.cd1(
+            bandwidth_gbps=design.bandwidth_gbps
+        ).only_prefetchers()
+        requests: List[RunRequest] = []
+        for spec in workloads:
+            requests.extend(self.plan_speedup(spec, reference))
+        return requests
+
+    def plan_mix(
+        self, mix: WorkloadMix, design: CacheDesign, policy_name: str = "none"
+    ) -> MixRequest:
+        return MixRequest(
+            workloads=tuple(mix.workloads),
+            trace_length=self.scale.trace_length,
+            design=design,
+            policy_name=policy_name,
+            epoch_length=self.scale.epoch_length,
+            warmup_fraction=self.scale.warmup_fraction,
+        )
+
+    def prefetch(self, requests: Sequence[Request]) -> None:
+        """Batch-resolve ``requests`` ahead of the serial driver code.
+
+        With a parallel engine the misses fan out across worker
+        processes; with a serial engine this is a no-op (the runs would
+        execute at the same cost when first demanded).
+        """
+        if requests and self.engine.parallel:
+            self.engine.run_many(requests)
 
     # -- primitive runs -------------------------------------------------------
 
@@ -92,32 +176,20 @@ class ExperimentContext:
         policy_name: str = "none",
         athena_config: Optional[AthenaConfig] = None,
     ) -> RunRecord:
-        key = (
-            spec.name,
-            self.scale.trace_length,
-            design.signature(),
-            policy_name,
-            athena_config,
-        )
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-        trace = build_trace(spec, self.scale.trace_length)
-        hierarchy = build_hierarchy(design)
-        if policy_name == "athena" and athena_config is not None:
-            policy: Optional[CoordinationPolicy] = AthenaPolicy(athena_config)
-        else:
-            policy = make_policy(policy_name)
-        result = Simulator(
-            trace,
-            hierarchy,
-            policy=policy,
-            epoch_length=self.scale.epoch_length,
-            warmup_fraction=self.scale.warmup_fraction,
-        ).run()
-        record = RunRecord(ipc=result.ipc, result=result)
-        self._cache[key] = record
+        request = self.plan_run(spec, design, policy_name, athena_config)
+        key = request.key()
+        record = self._records.get(key)
+        if record is None:
+            result = self.engine.run(request)
+            record = RunRecord(ipc=result.ipc, result=result)
+            self._records[key] = record
         return record
+
+    def run_mix(
+        self, mix: WorkloadMix, design: CacheDesign, policy_name: str = "none"
+    ) -> MultiCoreResult:
+        """One multi-core mix simulation, resolved through the engine."""
+        return self.engine.run(self.plan_mix(mix, design, policy_name))
 
     def baseline_ipc(self, spec: WorkloadSpec, design: CacheDesign) -> float:
         return self.run(spec, design.without_mechanisms()).ipc

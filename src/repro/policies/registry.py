@@ -1,0 +1,71 @@
+"""Coordination-policy registry.
+
+Lives in :mod:`repro.policies` (rather than the experiments layer) so that
+low-level consumers — notably :mod:`repro.engine.jobs`, whose worker
+processes must rebuild a policy from its registry name — can construct
+policies without importing the experiment harness.
+:mod:`repro.experiments.runner` re-exports everything here for backwards
+compatibility.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..core.config import AthenaConfig
+from .athena import AthenaPolicy
+from .base import CoordinationPolicy, NaivePolicy
+from .hpac import HpacPolicy
+from .mab import MabPolicy
+from .tlp import TlpPolicy
+
+PolicyFactory = Callable[[], Optional[CoordinationPolicy]]
+
+#: policy registry used by figure drivers, the engine, and the CLI.
+POLICY_FACTORIES: Dict[str, PolicyFactory] = {
+    "none": lambda: None,
+    "naive": NaivePolicy,
+    "hpac": HpacPolicy,
+    "mab": MabPolicy,
+    "tlp": TlpPolicy,
+    "athena": AthenaPolicy,
+}
+
+
+def make_policy(name: str, **kwargs) -> Optional[CoordinationPolicy]:
+    """Instantiate a coordination policy by registry name.
+
+    Keyword arguments are forwarded to the policy's constructor — for
+    ``athena`` they become :class:`~repro.core.config.AthenaConfig` fields
+    (e.g. ``seed=7``, ``alpha=0.4``), for the other policies they map onto
+    the constructor parameters (e.g. MAB's ``discount``).  Unsupported
+    options raise :exc:`ValueError` instead of being silently discarded.
+    """
+    if name == "athena":
+        if not kwargs:
+            return AthenaPolicy()
+        try:
+            return AthenaPolicy(AthenaConfig(**kwargs))
+        except TypeError:
+            raise ValueError(
+                f"unsupported athena options {sorted(kwargs)}; valid: "
+                f"{sorted(AthenaConfig.__dataclass_fields__)}"
+            ) from None
+    try:
+        factory = POLICY_FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; valid: {sorted(POLICY_FACTORIES)}"
+        ) from None
+    if name == "none":
+        if kwargs:
+            raise ValueError(
+                f"policy 'none' accepts no options; got {sorted(kwargs)}"
+            )
+        return None
+    try:
+        return factory(**kwargs)
+    except TypeError:
+        raise ValueError(
+            f"unsupported options {sorted(kwargs)} for policy {name!r}"
+        ) from None

@@ -24,14 +24,43 @@ class TestRun:
         assert "speedup:" in out
         assert "ipc:" in out
 
-    def test_run_unknown_workload(self):
-        with pytest.raises(KeyError):
-            main(["run", "no.such.workload", "--length", "3000"])
+    def test_run_unknown_workload_exits_nonzero(self, capsys):
+        assert main(["run", "no.such.workload", "--length", "3000"]) == 2
+        err = capsys.readouterr().err
+        assert "no workload named" in err
 
-    def test_run_unknown_policy(self):
-        with pytest.raises(ValueError):
-            main(["run", "ligra.BFS.0", "--policy", "wat",
-                  "--length", "3000"])
+    def test_run_unknown_policy_exits_nonzero(self, capsys):
+        assert main(["run", "ligra.BFS.0", "--policy", "wat",
+                     "--length", "3000"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown policy" in err
+
+    def test_run_with_seed_and_policy_config(self, capsys):
+        assert main(["run", "ligra.BFS.0", "--policy", "athena",
+                     "--length", "3000", "--seed", "7",
+                     "--policy-config", "alpha=0.4"]) == 0
+        out = capsys.readouterr().out
+        assert "seed:      7" in out
+        assert "speedup:" in out
+
+    def test_run_seed_rejected_for_unseeded_policy(self, capsys):
+        assert main(["run", "ligra.BFS.0", "--policy", "naive",
+                     "--length", "3000", "--seed", "7"]) == 2
+        err = capsys.readouterr().err
+        assert "unsupported options" in err
+
+    def test_run_bad_policy_config_syntax(self, capsys):
+        assert main(["run", "ligra.BFS.0", "--length", "3000",
+                     "--policy-config", "alpha"]) == 2
+        err = capsys.readouterr().err
+        assert "KEY=VALUE" in err
+
+    def test_run_unknown_policy_config_key(self, capsys):
+        assert main(["run", "ligra.BFS.0", "--policy", "athena",
+                     "--length", "3000",
+                     "--policy-config", "wibble=1"]) == 2
+        err = capsys.readouterr().err
+        assert "unsupported athena options" in err
 
 
 class TestFigure:
@@ -46,6 +75,74 @@ class TestFigure:
         assert main(["figure", "Fig3"]) == 0
         out = capsys.readouterr().out
         assert "Fig3" in out
+
+
+class TestFigures:
+    def test_no_figures_requested(self, capsys):
+        assert main(["figures", "--no-store"]) == 2
+        assert "no figures requested" in capsys.readouterr().err
+
+    def test_unknown_figure_id(self, capsys):
+        assert main(["figures", "Fig99", "--no-store"]) == 2
+        assert "unknown figures" in capsys.readouterr().err
+
+    def test_parallel_figures_with_store(self, capsys, monkeypatch,
+                                         tmp_path):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        store = str(tmp_path / "store.sqlite")
+        assert main(["figures", "Fig3", "--jobs", "2",
+                     "--store", store]) == 0
+        cold = capsys.readouterr().out
+        assert "Fig3" in cold
+        assert "engine:" in cold
+        assert "0 simulations executed" not in cold
+        # Warm rerun in a fresh engine: everything replays from the store.
+        assert main(["figures", "Fig3", "--jobs", "2",
+                     "--store", store]) == 0
+        warm = capsys.readouterr().out
+        assert "engine: 0 simulations executed" in warm
+        # The emitted table is identical, cold vs warm.
+        assert warm.split("engine:")[0] == cold.split("engine:")[0]
+
+
+class TestSweep:
+    def test_sweep_table(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        assert main(["sweep", "--workloads", "ligra.BFS.0",
+                     "--designs", "cd1", "--policies", "none,naive",
+                     "--no-store"]) == 0
+        out = capsys.readouterr().out
+        assert "cd1/none" in out
+        assert "cd1/naive" in out
+        assert "geomean" in out
+        assert "engine:" in out
+
+    def test_sweep_rejects_unknown_policy(self, capsys):
+        assert main(["sweep", "--policies", "wat", "--no-store"]) == 2
+        assert "unknown policies" in capsys.readouterr().err
+
+    def test_sweep_rejects_unknown_design(self, capsys):
+        assert main(["sweep", "--designs", "cd9", "--no-store"]) == 2
+        assert "unknown design" in capsys.readouterr().err
+
+    def test_sweep_rejects_unknown_workload(self, capsys):
+        assert main(["sweep", "--workloads", "no.such",
+                     "--no-store"]) == 2
+        assert "no workload named" in capsys.readouterr().err
+
+    def test_sweep_rejects_pool_typo(self, capsys):
+        # "pool5" must not silently select the full default pool.
+        assert main(["sweep", "--workloads", "pool5",
+                     "--no-store"]) == 2
+        assert "no workload named" in capsys.readouterr().err
+
+    def test_store_path_at_foreign_file_is_refused(self, capsys,
+                                                   tmp_path):
+        notes = tmp_path / "notes.txt"
+        notes.write_text("do not clobber me")
+        assert main(["figures", "Fig3", "--store", str(notes)]) == 2
+        assert "refusing to overwrite" in capsys.readouterr().err
+        assert notes.read_text() == "do not clobber me"
 
 
 class TestArgparse:

@@ -1,0 +1,290 @@
+"""Tests for the parallel experiment engine and its result store."""
+
+import json
+
+import pytest
+
+from repro.core.config import AthenaConfig
+from repro.engine import (
+    Engine,
+    MixRequest,
+    ResultStore,
+    RunRequest,
+    run_many,
+)
+from repro.engine.jobs import decode_result, encode_result
+from repro.engine.store import StoreDecodeError
+from repro.experiments.configs import CacheDesign
+from repro.experiments.figures import fig02_naive_vs_staticbest
+from repro.experiments.runner import ExperimentContext
+from repro.workloads.mixes import build_mixes
+from repro.workloads.suites import ReproScale, find_workload
+
+TINY = ReproScale("test", trace_length=3000, workloads_per_figure=4,
+                  epoch_length=150, policy_seeds=1)
+
+
+def _request(policy="naive", workload="ligra.BFS.0", **overrides):
+    defaults = dict(
+        spec=find_workload(workload),
+        trace_length=3000,
+        design=CacheDesign.cd1(),
+        policy_name=policy,
+        epoch_length=150,
+        warmup_fraction=0.35,
+    )
+    defaults.update(overrides)
+    return RunRequest(**defaults)
+
+
+class TestRunRequestKeys:
+    def test_key_is_stable(self):
+        assert _request().key() == _request().key()
+
+    def test_key_distinguishes_parameters(self):
+        base = _request()
+        variants = [
+            _request(policy="mab"),
+            _request(workload="ligra.PageRank.1"),
+            _request(trace_length=6000),
+            _request(design=CacheDesign.cd2()),
+            _request(epoch_length=300),
+            _request(warmup_fraction=0.2),
+            _request(policy="athena"),
+            _request(policy="athena",
+                     athena_config=AthenaConfig(seed=1)),
+        ]
+        keys = {base.key()} | {v.key() for v in variants}
+        assert len(keys) == len(variants) + 1
+
+    def test_design_name_is_cosmetic(self):
+        from dataclasses import replace
+
+        d = CacheDesign.cd1()
+        renamed = replace(d, name="CD1-some-other-label")
+        assert _request(design=d).key() == _request(design=renamed).key()
+
+    def test_athena_default_config_is_canonical(self):
+        explicit = _request(policy="athena",
+                            athena_config=AthenaConfig())
+        implicit = _request(policy="athena")
+        assert explicit.key() == implicit.key()
+
+
+class TestResultCodec:
+    def test_simulation_result_roundtrip(self):
+        request = _request(policy="athena")
+        result = request.execute()
+        clone = decode_result(
+            json.loads(json.dumps(encode_result(result)))
+        )
+        assert clone.workload == result.workload
+        assert clone.ipc == result.ipc
+        assert clone.instructions == result.instructions
+        assert clone.cycles == result.cycles
+        assert clone.stats == result.stats
+        assert clone.epochs == result.epochs
+        assert clone.actions == result.actions
+        assert clone.action_distribution() == result.action_distribution()
+
+    def test_mix_result_roundtrip(self):
+        mix = build_mixes(2, 1)[0]
+        request = MixRequest(
+            workloads=tuple(mix.workloads),
+            trace_length=1500,
+            design=CacheDesign.cd1(),
+            policy_name="naive",
+            epoch_length=150,
+        )
+        result = request.execute()
+        clone = decode_result(
+            json.loads(json.dumps(encode_result(result)))
+        )
+        assert [c.workload for c in clone.cores] == \
+            [c.workload for c in result.cores]
+        assert [c.ipc for c in clone.cores] == \
+            [c.ipc for c in result.cores]
+        baseline = request.execute()
+        assert clone.weighted_speedup(baseline) == \
+            result.weighted_speedup(baseline)
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(StoreDecodeError):
+            decode_result({"kind": "run"})
+        with pytest.raises(StoreDecodeError):
+            decode_result({"schema": -1, "kind": "run"})
+
+
+class TestResultStore:
+    def test_put_get_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path / "s.sqlite")
+        store.put("k", {"a": 1})
+        assert store.get("k") == {"a": 1}
+        assert "k" in store
+        assert len(store) == 1
+        store.delete("k")
+        assert store.get("k") is None
+
+    def test_unparseable_payload_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path / "s.sqlite")
+        store._conn.execute(
+            "INSERT INTO results VALUES ('bad', '{truncated', 0.0)"
+        )
+        store._conn.commit()
+        assert store.get("bad") is None
+        assert len(store) == 0  # the corrupt row was evicted
+
+    def test_corrupt_database_file_is_recreated(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        # A truncated store: right header, garbage body.
+        path.write_bytes(b"SQLite format 3\x00" + b"\xde\xad\xbe\xef" * 8)
+        store = ResultStore(path)
+        store.put("k", {"a": 1})
+        assert store.get("k") == {"a": 1}
+
+    def test_refuses_to_overwrite_foreign_file(self, tmp_path):
+        path = tmp_path / "notes.txt"
+        path.write_text("important notes that are not a sqlite database")
+        with pytest.raises(ValueError, match="refusing to overwrite"):
+            ResultStore(path)
+        assert path.read_text().startswith("important notes")
+
+    def test_two_connections_share_entries(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        with ResultStore(path) as writer, ResultStore(path) as reader:
+            writer.put("k", {"a": 1})
+            assert reader.get("k") == {"a": 1}
+
+
+class TestEngine:
+    def test_memo_store_execute_tiers(self, tmp_path):
+        request = _request()
+        with Engine(store=ResultStore(tmp_path / "s.sqlite")) as engine:
+            first = engine.run(request)
+            second = engine.run(request)
+            assert second is first
+            assert engine.counters.executed == 1
+            assert engine.counters.memo_hits == 1
+        with Engine(store=ResultStore(tmp_path / "s.sqlite")) as engine:
+            replayed = engine.run(request)
+            assert engine.counters.executed == 0
+            assert engine.counters.store_hits == 1
+            assert replayed.ipc == first.ipc
+            assert replayed.stats == first.stats
+
+    def test_corrupted_store_entry_is_recomputed(self, tmp_path):
+        request = _request()
+        store = ResultStore(tmp_path / "s.sqlite")
+        with Engine(store=store) as engine:
+            expected = engine.run(request)
+            # Clobber the entry with a decodable-JSON but invalid payload.
+            store.put(request.key(), {"schema": 999, "nonsense": True})
+            engine2 = Engine(store=ResultStore(tmp_path / "s.sqlite"))
+            recomputed = engine2.run(request)
+            assert engine2.counters.executed == 1
+            assert recomputed.ipc == expected.ipc
+
+    def test_run_many_preserves_order_and_dedups(self):
+        requests = [_request(), _request(policy="mab"), _request()]
+        engine = Engine()
+        results = engine.run_many(requests)
+        assert engine.counters.executed == 2
+        assert results[0] is results[2]
+        assert results[0].ipc != results[1].ipc
+
+    def test_run_many_parallel_matches_serial(self, tmp_path):
+        requests = [
+            _request(),
+            _request(policy="mab"),
+            _request(policy="athena"),
+            _request(workload="spec06.mcf_like.0"),
+        ]
+        serial = Engine().run_many(requests)
+        with Engine(store=ResultStore(tmp_path / "s.sqlite"),
+                    jobs=2) as engine:
+            parallel = engine.run_many(requests)
+            assert engine.counters.executed == len(requests)
+        for s, p in zip(serial, parallel):
+            assert s.ipc == p.ipc
+            assert s.stats == p.stats
+            assert s.actions == p.actions
+
+    def test_module_level_run_many(self):
+        results = run_many([_request()], jobs=1)
+        assert results[0].instructions > 0
+
+    def test_progress_callback_streams(self):
+        seen = []
+        engine = Engine()
+        engine.run_many(
+            [_request(), _request(policy="mab")],
+            progress=lambda done, total, key: seen.append((done, total)),
+        )
+        assert seen == [(1, 2), (2, 2)]
+
+
+class TestFigureParallelism:
+    """The acceptance property: parallel == serial, warm == zero runs."""
+
+    def test_figure_parallel_bit_identical_and_warm(self, tmp_path):
+        store_path = tmp_path / "s.sqlite"
+        serial = fig02_naive_vs_staticbest(
+            ExperimentContext(TINY)
+        ).format_table()
+
+        cold_engine = Engine(store=ResultStore(store_path), jobs=2)
+        with cold_engine:
+            cold = fig02_naive_vs_staticbest(
+                ExperimentContext(TINY, engine=cold_engine)
+            ).format_table()
+            assert cold_engine.counters.executed > 0
+        assert cold == serial
+
+        warm_engine = Engine(store=ResultStore(store_path), jobs=2)
+        with warm_engine:
+            warm = fig02_naive_vs_staticbest(
+                ExperimentContext(TINY, engine=warm_engine)
+            ).format_table()
+            assert warm_engine.counters.executed == 0
+            assert warm_engine.counters.store_hits > 0
+        assert warm == serial
+
+    def test_multicore_mix_goes_through_engine(self, tmp_path):
+        mix = build_mixes(2, 1)[0]
+        design = CacheDesign.cd1()
+        store_path = tmp_path / "s.sqlite"
+        scale = ReproScale("test", trace_length=1500,
+                           workloads_per_figure=2, epoch_length=150)
+        with Engine(store=ResultStore(store_path)) as engine:
+            ctx = ExperimentContext(scale, engine=engine)
+            first = ctx.run_mix(mix, design, "naive")
+            assert engine.counters.executed == 1
+        with Engine(store=ResultStore(store_path)) as engine:
+            ctx = ExperimentContext(scale, engine=engine)
+            replayed = ctx.run_mix(mix, design, "naive")
+            assert engine.counters.executed == 0
+            assert [c.ipc for c in replayed.cores] == \
+                [c.ipc for c in first.cores]
+
+
+class TestMakePolicyKwargs:
+    def test_unsupported_kwargs_raise(self):
+        from repro.policies.registry import make_policy
+
+        with pytest.raises(ValueError, match="unsupported"):
+            make_policy("naive", seed=1)
+        with pytest.raises(ValueError, match="unsupported"):
+            make_policy("hpac", wibble=2)
+        with pytest.raises(ValueError, match="accepts no options"):
+            make_policy("none", seed=1)
+        with pytest.raises(ValueError, match="unsupported athena"):
+            make_policy("athena", wibble=2)
+
+    def test_supported_kwargs_are_forwarded(self):
+        from repro.policies.registry import make_policy
+
+        athena = make_policy("athena", seed=7, alpha=0.4)
+        assert athena.config.seed == 7
+        assert athena.config.alpha == 0.4
+        mab = make_policy("mab", discount=0.9)
+        assert mab.discount == 0.9
