@@ -1,0 +1,252 @@
+"""Simulation-throughput benchmark harness (``repro bench``).
+
+Measures *simulated instructions per second* — the single number every
+figure regeneration is bound by on a cold store — for a small matrix of
+(workload x policy) cells on the paper's default CD1 design, and writes
+the measurements to ``BENCH_sim_throughput.json``.
+
+Three kinds of numbers live in the output:
+
+* per-cell ``ips`` — raw simulated instructions/second on this machine;
+* ``ips_per_mop`` — the same normalized by a pure-Python calibration
+  score (million calibration ops/second), so measurements taken on
+  machines of different speeds are comparable;
+* ``reference`` — the checked-in pre-optimization (seed) measurements
+  (``benchmarks/throughput_seed_baseline.json``) plus the per-cell and
+  geomean speedup of the current core against them.
+
+``repro bench --check BASELINE`` additionally compares the normalized
+geomean against a checked-in baseline file and exits non-zero if it
+regressed by more than ``--tolerance`` (CI's ``bench-smoke`` job).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+import platform
+import time
+from typing import List, Optional, Tuple
+
+BENCH_SCHEMA = 1
+
+#: Default benchmark matrix: one streaming, one pointer-chasing, one
+#: graph workload — the memory behaviours that stress different parts of
+#: the hot path — under the uncoordinated and the Athena-coordinated
+#: configurations.
+DEFAULT_WORKLOADS = (
+    "spec06.libquantum_like.0",   # streaming: prefetcher-heavy
+    "spec06.mcf_like.0",          # pointer chase: dependent-load bound
+    "ligra.BFS.0",                # graph: irregular + bursty
+)
+DEFAULT_POLICIES = ("none", "athena")
+
+#: Checked-in pre-optimization measurements (recorded on the machine that
+#: landed the SoA core), used as the before/after reference in reports.
+SEED_BASELINE_PATH = (
+    pathlib.Path(__file__).resolve().parents[2]
+    / "benchmarks" / "throughput_seed_baseline.json"
+)
+
+
+def _calibrate(repeats: int = 3) -> float:
+    """Machine-speed score in million calibration ops/second.
+
+    The loop mixes integer arithmetic, list indexing and branching — the
+    same kind of work the interpreter does in the simulator hot path —
+    so the score tracks how fast *this* machine runs the simulator, and
+    ``ips / score`` is comparable across machines.
+    """
+    n = 200_000
+    best = math.inf
+    for _ in range(repeats):
+        buf = [0] * 1024
+        acc = 0
+        t0 = time.perf_counter()
+        for i in range(n):
+            j = i & 1023
+            v = buf[j]
+            if v > acc:
+                acc = v - acc
+            else:
+                acc = acc + (i & 7)
+            buf[j] = acc & 0xFFFF
+        best = min(best, time.perf_counter() - t0)
+    return n / best / 1e6
+
+
+def measure_cell(
+    workload: str,
+    policy: str,
+    design_name: str,
+    trace_length: int,
+    epoch_length: int,
+    repeats: int,
+) -> dict:
+    """Time cold single-core runs of one (workload, policy) cell.
+
+    The trace and hierarchy are rebuilt for every repeat (a cold run),
+    but only ``Simulator.run`` is inside the timer: trace *generation*
+    throughput is a separate concern.  Reports the best repeat.
+    """
+    from repro.engine.jobs import _build_policy
+    from repro.experiments.configs import CacheDesign, build_hierarchy
+    from repro.sim.simulator import Simulator
+    from repro.workloads.suites import build_trace, find_workload
+
+    spec = find_workload(workload)
+    design = getattr(CacheDesign, design_name)()
+    best = math.inf
+    result = None
+    for _ in range(repeats):
+        trace = build_trace(spec, trace_length)
+        hierarchy = build_hierarchy(design)
+        pol = _build_policy(policy, None) if policy != "none" else None
+        sim = Simulator(trace, hierarchy, policy=pol,
+                        epoch_length=epoch_length, warmup_fraction=0.35)
+        t0 = time.perf_counter()
+        result = sim.run()
+        best = min(best, time.perf_counter() - t0)
+    return {
+        "workload": workload,
+        "policy": policy,
+        "design": design_name,
+        "trace_length": trace_length,
+        "measured_instructions": result.instructions,
+        "seconds": best,
+        "ips": trace_length / best,
+    }
+
+
+def geomean(values: List[float]) -> float:
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def run_bench(
+    workloads: Tuple[str, ...] = DEFAULT_WORKLOADS,
+    policies: Tuple[str, ...] = DEFAULT_POLICIES,
+    design: str = "cd1",
+    trace_length: int = 24_000,
+    epoch_length: int = 600,
+    repeats: int = 3,
+    quick: bool = False,
+    reference_path: Optional[pathlib.Path] = SEED_BASELINE_PATH,
+    progress=None,
+) -> dict:
+    """Run the benchmark matrix; returns the JSON-able report."""
+    if quick:
+        workloads = workloads[:2]
+        trace_length = min(trace_length, 12_000)
+        epoch_length = min(epoch_length, 300)
+        repeats = 1
+
+    calibration = _calibrate(1 if quick else 3)
+    cells = []
+    for workload in workloads:
+        for policy in policies:
+            if progress is not None:
+                progress(workload, policy)
+            cell = measure_cell(workload, policy, design,
+                                trace_length, epoch_length, repeats)
+            cell["ips_per_mop"] = cell["ips"] / calibration
+            cells.append(cell)
+
+    report = {
+        "schema": BENCH_SCHEMA,
+        "unit": "simulated instructions per second (cold Simulator.run)",
+        "quick": quick,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "calibration_mops": calibration,
+        "cells": cells,
+        "geomean_ips": geomean([c["ips"] for c in cells]),
+        "geomean_ips_per_mop": geomean([c["ips_per_mop"] for c in cells]),
+    }
+
+    if reference_path is not None and pathlib.Path(reference_path).exists():
+        reference = json.loads(pathlib.Path(reference_path).read_text())
+        report["reference"] = {
+            "path": str(reference_path),
+            "geomean_ips": reference.get("geomean_ips"),
+            "cells": reference.get("cells"),
+        }
+        ref_by_key = {
+            (c["workload"], c["policy"]): c
+            for c in reference.get("cells", ())
+        }
+        speedups = []
+        for cell in cells:
+            ref = ref_by_key.get((cell["workload"], cell["policy"]))
+            # Only compare like-for-like cells (a --quick run shortens the
+            # trace, which shifts ips independently of core speed).
+            if (ref and ref.get("ips")
+                    and ref.get("trace_length") == cell["trace_length"]):
+                cell["speedup_vs_reference"] = cell["ips"] / ref["ips"]
+                speedups.append(cell["speedup_vs_reference"])
+        if speedups:
+            report["geomean_speedup_vs_reference"] = geomean(speedups)
+    return report
+
+
+def check_regression(report: dict, baseline_path: pathlib.Path,
+                     tolerance: float = 0.30) -> Tuple[bool, str]:
+    """Compare the normalized geomean against a checked-in baseline.
+
+    Returns ``(ok, message)``.  The comparison uses the
+    calibration-normalized score so a slower CI machine does not read as
+    a regression; ``tolerance`` is the allowed fractional slowdown.
+    """
+    baseline = json.loads(pathlib.Path(baseline_path).read_text())
+    base_score = baseline.get("geomean_ips_per_mop")
+    if not base_score:
+        return False, f"baseline {baseline_path} has no geomean_ips_per_mop"
+    # Refuse apples-to-oranges comparisons: the normalized geomean is only
+    # meaningful against a baseline measured over the same cell matrix.
+    def _matrix(rep):
+        return sorted(
+            (c["workload"], c["policy"], c["trace_length"])
+            for c in rep.get("cells", ())
+        )
+    if _matrix(report) != _matrix(baseline):
+        return False, (
+            f"cell matrix mismatch vs {baseline_path} (different workloads, "
+            f"policies, or trace lengths — e.g. --quick vs full); "
+            f"re-record the baseline with the same bench invocation"
+        )
+    current = report["geomean_ips_per_mop"]
+    floor = base_score * (1.0 - tolerance)
+    ratio = current / base_score
+    message = (
+        f"normalized throughput {current:,.1f} vs baseline "
+        f"{base_score:,.1f} ({ratio:.2f}x, floor {floor:,.1f})"
+    )
+    return current >= floor, message
+
+
+def format_report(report: dict) -> str:
+    """Human-readable table for the CLI."""
+    lines = []
+    lines.append(
+        f"{'workload':32s} {'policy':8s} {'ips':>12s} "
+        f"{'norm':>10s} {'vs seed':>8s}"
+    )
+    for cell in report["cells"]:
+        speedup = cell.get("speedup_vs_reference")
+        lines.append(
+            f"{cell['workload']:32s} {cell['policy']:8s} "
+            f"{cell['ips']:>12,.0f} {cell['ips_per_mop']:>10,.1f} "
+            f"{speedup and f'{speedup:.2f}x' or '-':>8s}"
+        )
+    lines.append(
+        f"{'geomean':32s} {'':8s} {report['geomean_ips']:>12,.0f} "
+        f"{report['geomean_ips_per_mop']:>10,.1f} "
+        + (
+            f"{report['geomean_speedup_vs_reference']:>7.2f}x"
+            if "geomean_speedup_vs_reference" in report else f"{'-':>8s}"
+        )
+    )
+    lines.append(f"calibration: {report['calibration_mops']:.1f} Mops/s")
+    return "\n".join(lines)

@@ -84,6 +84,32 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("classify",
                    help="friendly/adverse split of the workload pool")
+
+    bench = sub.add_parser(
+        "bench",
+        help="measure simulated-instructions/second and write "
+             "BENCH_sim_throughput.json",
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="smaller matrix and single repeat (CI smoke)")
+    bench.add_argument("--output", default="BENCH_sim_throughput.json",
+                       metavar="PATH", help="report path (default: "
+                       "BENCH_sim_throughput.json)")
+    bench.add_argument("--workloads", default=None,
+                       help="comma-separated workload names "
+                            "(default: representative trio)")
+    bench.add_argument("--policies", default=None,
+                       help="comma-separated policies (default: none,athena)")
+    bench.add_argument("--length", type=int, default=24_000,
+                       help="trace length per cell (default 24000)")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="cold repeats per cell; best is reported")
+    bench.add_argument("--check", default=None, metavar="BASELINE",
+                       help="fail if normalized geomean throughput regresses "
+                            "vs this baseline JSON")
+    bench.add_argument("--tolerance", type=float, default=0.30,
+                       help="allowed fractional regression for --check "
+                            "(default 0.30)")
     return parser
 
 
@@ -324,6 +350,52 @@ def _cmd_classify() -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    import json
+    import pathlib
+
+    from . import bench as throughput
+
+    kwargs = {}
+    if args.workloads:
+        kwargs["workloads"] = tuple(
+            w.strip() for w in args.workloads.split(",") if w.strip()
+        )
+    if args.policies:
+        kwargs["policies"] = tuple(
+            p.strip() for p in args.policies.split(",") if p.strip()
+        )
+
+    def progress(workload: str, policy: str) -> None:
+        print(f"  bench: {workload} x {policy}", file=sys.stderr, flush=True)
+
+    try:
+        report = throughput.run_bench(
+            trace_length=args.length, repeats=args.repeats,
+            quick=args.quick, progress=progress, **kwargs,
+        )
+    except KeyError as exc:
+        return _fail(str(exc.args[0] if exc.args else exc))
+    print(throughput.format_report(report))
+
+    out = pathlib.Path(args.output)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    if args.check:
+        baseline = pathlib.Path(args.check)
+        if not baseline.exists():
+            return _fail(f"baseline {baseline} not found")
+        ok, message = throughput.check_regression(
+            report, baseline, args.tolerance
+        )
+        print(f"regression check: {message}")
+        if not ok:
+            print("regression check FAILED", file=sys.stderr)
+            return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
@@ -338,6 +410,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "classify":
         return _cmd_classify()
+    if args.command == "bench":
+        return _cmd_bench(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -45,22 +45,49 @@ class BloomFilter:
             )
         self.num_bits = num_bits
         self.num_hashes = num_hashes
-        self._bits = 0
+        # One byte per bit: index arithmetic beats big-int shifting for the
+        # per-access query/insert pattern of the Athena trackers.
+        self._bits = bytearray(num_bits)
         self._count = 0
+        self._two_hashes = num_hashes == 2
 
     def _indices(self, key: int):
         for m in _HASH_MULTIPLIERS[: self.num_hashes]:
             yield _mix(key, m) % self.num_bits
 
     def insert(self, key: int) -> None:
-        for idx in self._indices(key):
-            self._bits |= 1 << idx
+        bits = self._bits
+        if self._two_hashes:
+            n = self.num_bits
+            h = (key * 0x9E3779B97F4A7C15) & _MASK64
+            h ^= h >> 33
+            h = (h * 0xFF51AFD7ED558CCD) & _MASK64
+            bits[(h ^ (h >> 29)) % n] = 1
+            h = (key * 0xC2B2AE3D27D4EB4F) & _MASK64
+            h ^= h >> 33
+            h = (h * 0xFF51AFD7ED558CCD) & _MASK64
+            bits[(h ^ (h >> 29)) % n] = 1
+        else:
+            for idx in self._indices(key):
+                bits[idx] = 1
         self._count += 1
 
     def query(self, key: int) -> bool:
         """True if ``key`` may have been inserted (no false negatives)."""
+        bits = self._bits
+        if self._two_hashes:
+            n = self.num_bits
+            h = (key * 0x9E3779B97F4A7C15) & _MASK64
+            h ^= h >> 33
+            h = (h * 0xFF51AFD7ED558CCD) & _MASK64
+            if not bits[(h ^ (h >> 29)) % n]:
+                return False
+            h = (key * 0xC2B2AE3D27D4EB4F) & _MASK64
+            h ^= h >> 33
+            h = (h * 0xFF51AFD7ED558CCD) & _MASK64
+            return bool(bits[(h ^ (h >> 29)) % n])
         for idx in self._indices(key):
-            if not (self._bits >> idx) & 1:
+            if not bits[idx]:
                 return False
         return True
 
@@ -69,7 +96,7 @@ class BloomFilter:
 
     def reset(self) -> None:
         """Clear all bits; called at the end of every Athena epoch."""
-        self._bits = 0
+        self._bits = bytearray(self.num_bits)
         self._count = 0
 
     @property
@@ -79,7 +106,7 @@ class BloomFilter:
 
     def saturation(self) -> float:
         """Fraction of bits currently set (diagnostic for sizing)."""
-        return bin(self._bits).count("1") / self.num_bits
+        return sum(self._bits) / self.num_bits
 
     def false_positive_rate(self) -> float:
         """Theoretical FPR for the current insert count."""

@@ -49,7 +49,23 @@ class FeatureTracker:
         self._prefetches_issued += 1
 
     def on_demand_load(self, pc: int, line_addr: int, went_offchip: bool) -> None:
-        if self._accuracy_filter.query(line_addr):
+        # Inlined BloomFilter.query for the per-load accuracy probe (the
+        # generic path handles non-default hash counts).
+        f = self._accuracy_filter
+        if f._two_hashes:
+            bits = f._bits
+            n = f.num_bits
+            h = (line_addr * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+            h ^= h >> 33
+            h = (h * 0xFF51AFD7ED558CCD) & 0xFFFFFFFFFFFFFFFF
+            if not bits[(h ^ (h >> 29)) % n]:
+                return
+            h = (line_addr * 0xC2B2AE3D27D4EB4F) & 0xFFFFFFFFFFFFFFFF
+            h ^= h >> 33
+            h = (h * 0xFF51AFD7ED558CCD) & 0xFFFFFFFFFFFFFFFF
+            if bits[(h ^ (h >> 29)) % n]:
+                self._prefetch_hits += 1
+        elif f.query(line_addr):
             self._prefetch_hits += 1
 
     def on_ocp_request(self, line_addr: int) -> None:

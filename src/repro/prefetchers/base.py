@@ -64,7 +64,10 @@ class Prefetcher(abc.ABC):
         candidates = self._train_and_predict(pc, line_addr, hit)
         if not self.enabled:
             return []
-        out = candidates[: self.effective_degree]
+        # Inline of the effective_degree property (hot path) — keep the
+        # clamping rule in lockstep with it.
+        degree = int(self.degree_fraction * self.max_degree)
+        out = candidates[: degree if degree > 1 else 1]
         self.issued += len(out)
         return out
 

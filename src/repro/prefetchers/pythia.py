@@ -67,6 +67,12 @@ class PythiaPrefetcher(Prefetcher):
             _Vault(_ROWS, len(ACTIONS), m)
             for m in (0x9E3779B97F4A7C15, 0xC2B2AE3D27D4EB4F)[:_PLANES]
         ]
+        # Hot-path handles: the two Q-planes, indexed [row][action].
+        self._plane0 = self._vaults[0].q
+        self._plane1 = self._vaults[1].q
+        # state -> (row0, row1) memo: the row hash is pure, and PC+delta
+        # states repeat constantly.  Deterministically bounded.
+        self._row_memo: dict = {}
         # Windowed accuracy self-throttle (Pythia's built-in bandwidth-aware
         # throttling, §2.1.1 of the Athena paper): when recent prefetch
         # accuracy collapses, Pythia caps its own degree and demands strong
@@ -96,23 +102,46 @@ class PythiaPrefetcher(Prefetcher):
         return x / 0xFFFFFFFF
 
     # -- Q-value plumbing -------------------------------------------------------
+    #
+    # Both planes' rows are resolved once per state and summed directly;
+    # plane order and float-operation order match the vault-loop versions,
+    # so Q trajectories are bit-identical to them.
+
+    def _rows(self, state: int):
+        memo = self._row_memo
+        rows = memo.get(state)
+        if rows is None:
+            if len(memo) > 65536:
+                memo.clear()
+            h0 = (state * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+            h0 ^= h0 >> 29
+            h1 = (state * 0xC2B2AE3D27D4EB4F) & 0xFFFFFFFFFFFFFFFF
+            h1 ^= h1 >> 29
+            rows = (self._plane0[h0 % _ROWS], self._plane1[h1 % _ROWS])
+            memo[state] = rows
+        return rows
 
     def _q(self, state: int, action_index: int) -> float:
-        return sum(v.q[v.row(state)][action_index] for v in self._vaults)
+        row0, row1 = self._rows(state)
+        return row0[action_index] + row1[action_index]
 
     def _update(self, state: int, action_index: int, target: float) -> None:
-        current = self._q(state, action_index)
-        delta = _ALPHA * (target - current) / len(self._vaults)
-        for vault in self._vaults:
-            vault.q[vault.row(state)][action_index] += delta
+        row0, row1 = self._rows(state)
+        current = row0[action_index] + row1[action_index]
+        delta = _ALPHA * (target - current) / _PLANES
+        row0[action_index] += delta
+        row1[action_index] += delta
 
     def _select_action(self, state: int) -> int:
         if self._rand() < _EPSILON:
             return int(self._rand() * len(ACTIONS)) % len(ACTIONS)
-        q_row = [self._q(state, a) for a in range(len(ACTIONS))]
+        row0, row1 = self._rows(state)
         best = 0
-        for i in range(1, len(q_row)):
-            if q_row[i] > q_row[best]:
+        best_q = row0[0] + row1[0]
+        for i in range(1, len(ACTIONS)):
+            q = row0[i] + row1[i]
+            if q > best_q:
+                best_q = q
                 best = i
         return best
 
@@ -195,9 +224,11 @@ class PythiaPrefetcher(Prefetcher):
     def _drain_rewards(self, next_state: int) -> None:
         """Apply queued rewards with a SARSA-style bootstrapped target."""
         next_action = self._select_action(next_state)
-        bootstrap = _GAMMA * self._q(next_state, next_action)
-        while self._pending_updates:
-            state, action_index, reward = self._pending_updates.popleft()
+        row0, row1 = self._rows(next_state)
+        bootstrap = _GAMMA * (row0[next_action] + row1[next_action])
+        updates = self._pending_updates
+        while updates:
+            state, action_index, reward = updates.popleft()
             self._update(state, action_index, reward + bootstrap)
 
     # -- feedback from the hierarchy ------------------------------------------

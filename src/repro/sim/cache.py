@@ -5,6 +5,15 @@ prefetch bits (for accuracy accounting), dirty bits (for writeback traffic)
 and reuse bits (for SHiP training and the "inaccurate off-chip prefetch
 fill" statistic of paper Figure 3).  Timing is handled analytically by the
 hierarchy / core model; the cache itself only reports hits and evictions.
+
+Storage is struct-of-arrays: one flat parallel array per line attribute
+(tag/valid/dirty/prefetched/reused/fill-pc/from-dram/ready-time), indexed
+by ``set_index * ways + way``.  The hot paths — :meth:`lookup_slot`,
+:meth:`fill_fast` and :meth:`find_slot` — are allocation-free: they return
+slot integers (or a per-cache scratch :class:`EvictedLine` reused across
+fills) and callers read line attributes straight out of the arrays.  The
+object-returning :meth:`lookup` / :meth:`fill` wrappers preserve the
+original interface for tests and non-critical callers.
 """
 
 from __future__ import annotations
@@ -16,18 +25,75 @@ from .params import CacheParams
 from .replacement import make_replacement
 
 
-@dataclass
-class CacheLine:
-    tag: int = -1
-    valid: bool = False
-    dirty: bool = False
-    prefetched: bool = False
-    reused: bool = False
-    fill_pc: int = 0
-    filled_from_dram: bool = False
-    #: time the line's data actually arrives (in-flight fills; a demand hit
-    #: on a line still in flight waits until this time — MSHR merge).
-    ready_time: float = 0.0
+class CacheLineView:
+    """Live view of one resident line (compatibility for :meth:`Cache.lookup`).
+
+    Attribute reads and writes go straight to the cache's backing arrays,
+    so mutating a view (e.g. clearing ``prefetched``) behaves exactly like
+    mutating the old per-line dataclass did.
+    """
+
+    __slots__ = ("_cache", "_slot")
+
+    def __init__(self, cache: "Cache", slot: int) -> None:
+        self._cache = cache
+        self._slot = slot
+
+    @property
+    def tag(self) -> int:
+        return self._cache._tags[self._slot]
+
+    @property
+    def valid(self) -> bool:
+        return bool(self._cache._valid[self._slot])
+
+    @property
+    def dirty(self) -> bool:
+        return bool(self._cache._dirty[self._slot])
+
+    @dirty.setter
+    def dirty(self, value: bool) -> None:
+        self._cache._dirty[self._slot] = 1 if value else 0
+
+    @property
+    def prefetched(self) -> bool:
+        return bool(self._cache._prefetched[self._slot])
+
+    @prefetched.setter
+    def prefetched(self, value: bool) -> None:
+        self._cache._prefetched[self._slot] = 1 if value else 0
+
+    @property
+    def reused(self) -> bool:
+        return bool(self._cache._reused[self._slot])
+
+    @reused.setter
+    def reused(self, value: bool) -> None:
+        self._cache._reused[self._slot] = 1 if value else 0
+
+    @property
+    def fill_pc(self) -> int:
+        return self._cache._fill_pc[self._slot]
+
+    @fill_pc.setter
+    def fill_pc(self, value: int) -> None:
+        self._cache._fill_pc[self._slot] = value
+
+    @property
+    def filled_from_dram(self) -> bool:
+        return bool(self._cache._from_dram[self._slot])
+
+    @filled_from_dram.setter
+    def filled_from_dram(self, value: bool) -> None:
+        self._cache._from_dram[self._slot] = 1 if value else 0
+
+    @property
+    def ready_time(self) -> float:
+        return self._cache._ready[self._slot]
+
+    @ready_time.setter
+    def ready_time(self, value: float) -> None:
+        self._cache._ready[self._slot] = value
 
 
 @dataclass
@@ -63,12 +129,41 @@ class Cache:
         self.num_sets = params.num_sets
         self.ways = params.ways
         self._set_mask = self.num_sets - 1
-        self._lines = [
-            [CacheLine() for _ in range(self.ways)] for _ in range(self.num_sets)
-        ]
+        self._tag_shift = self.num_sets.bit_length() - 1
+        total = self.num_sets * self.ways
+        # Struct-of-arrays line storage, indexed by set_index*ways + way.
+        self._tags = [-1] * total
+        self._valid = bytearray(total)
+        self._dirty = bytearray(total)
+        self._prefetched = bytearray(total)
+        self._reused = bytearray(total)
+        self._from_dram = bytearray(total)
+        self._fill_pc = [0] * total
+        #: time the line's data actually arrives (in-flight fills; a demand
+        #: hit on a line still in flight waits until this time — MSHR merge).
+        self._ready = [0.0] * total
+        #: line_addr -> slot index of every resident line.  (set, tag) <->
+        #: line_addr is a bijection, so the dict mirrors the arrays exactly
+        #: and turns the per-way tag scan into one O(1) lookup.
+        self._slot_of: dict = {}
+        self._slot_get = self._slot_of.get
+        #: valid lines per set; a full set skips the invalid-way scan.
+        self._set_valid = bytearray(self.num_sets)
         self._replacement = make_replacement(
             params.replacement, self.num_sets, self.ways
         )
+        # Inlined fast paths for the two stock policies (state layouts are
+        # theirs; behaviour is identical to calling their methods).
+        from .replacement import LruPolicy, ShipPolicy
+        self._lru = self._replacement \
+            if type(self._replacement) is LruPolicy else None
+        self._ship = self._replacement \
+            if type(self._replacement) is ShipPolicy else None
+        self._ship_shct_limit = (1 << ShipPolicy.SHCT_BITS) - 1
+        self._ship_shct_size = ShipPolicy.SHCT_SIZE
+        self._ship_distant = ShipPolicy.RRPV_MAX - 1
+        self._resident = 0
+        self._evicted_scratch = EvictedLine(0, False, False, False, False)
         self.hits = 0
         self.misses = 0
 
@@ -78,42 +173,179 @@ class Cache:
         return line_addr & self._set_mask
 
     def _tag(self, line_addr: int) -> int:
-        return line_addr >> self.num_sets.bit_length() - 1
+        return line_addr >> self._tag_shift
 
-    def _find(self, line_addr: int):
-        si = self._set_index(line_addr)
-        tag = self._tag(line_addr)
-        for way, line in enumerate(self._lines[si]):
-            if line.valid and line.tag == tag:
-                return si, way, line
-        return si, -1, None
+    def find_slot(self, line_addr: int) -> int:
+        """Slot of ``line_addr`` if resident, else -1.  No side effects."""
+        return self._slot_get(line_addr, -1)
 
     # -- lookups ----------------------------------------------------------
 
-    def lookup(self, line_addr: int, pc: int = 0, is_write: bool = False):
-        """Demand lookup.  Returns the hit :class:`CacheLine` or ``None``.
+    def lookup_slot(self, line_addr: int, pc: int = 0,
+                    is_write: bool = False) -> int:
+        """Demand lookup; returns the hit slot or -1 (allocation-free).
 
-        On a hit the replacement state is updated and the line's prefetch
-        bit (if set) is cleared after being reported, so that each prefetch
-        counts as useful at most once.
+        On a hit the replacement state is updated and the reuse bit set;
+        the caller reads/clears line attributes directly from the arrays
+        (e.g. ``cache._prefetched[slot]``).
         """
-        si, way, line = self._find(line_addr)
-        if line is None:
+        slot = self._slot_get(line_addr, -1)
+        if slot < 0:
             self.misses += 1
-            return None
+            return -1
         self.hits += 1
-        line.reused = True
+        self._reused[slot] = 1
         if is_write:
-            line.dirty = True
-        self._replacement.on_hit(si, way, pc)
-        return line
+            self._dirty[slot] = 1
+        lru = self._lru
+        if lru is not None:
+            lru._clock += 1
+            lru._timestamp[slot] = lru._clock
+        elif self._ship is not None:
+            set_index = line_addr & self._set_mask
+            self._ship._rrpv[set_index][slot - set_index * self.ways] = 0
+        else:
+            set_index = line_addr & self._set_mask
+            self._replacement.on_hit(
+                set_index, slot - set_index * self.ways, pc
+            )
+        return slot
+
+    def lookup(self, line_addr: int, pc: int = 0, is_write: bool = False):
+        """Demand lookup.  Returns a live :class:`CacheLineView` or ``None``.
+
+        On a hit the replacement state is updated; clearing the view's
+        prefetch bit writes through to the cache, so each prefetch counts
+        as useful at most once (hierarchy semantics).
+        """
+        slot = self.lookup_slot(line_addr, pc, is_write)
+        if slot < 0:
+            return None
+        return CacheLineView(self, slot)
 
     def probe(self, line_addr: int) -> bool:
         """Presence check with no state side effects (used by prefetch/OCP)."""
-        _, _, line = self._find(line_addr)
-        return line is not None
+        return self.find_slot(line_addr) >= 0
 
     # -- fills -------------------------------------------------------------
+
+    def fill_fast(
+        self,
+        line_addr: int,
+        pc: int = 0,
+        is_prefetch: bool = False,
+        dirty: bool = False,
+        from_dram: bool = False,
+        ready_time: float = 0.0,
+    ) -> Optional[EvictedLine]:
+        """Insert ``line_addr``; returns the evicted victim or ``None``.
+
+        The returned :class:`EvictedLine` is a per-cache scratch object
+        reused by the next fill — consume it before filling this cache
+        again (the hierarchy does).
+        """
+        slot_of = self._slot_of
+        slot = self._slot_get(line_addr, -1)
+        if slot >= 0:
+            # Already present (e.g. prefetch raced a demand): merge bits.
+            if dirty:
+                self._dirty[slot] = 1
+            if ready_time < self._ready[slot]:
+                self._ready[slot] = ready_time
+            return None
+
+        ways = self.ways
+        set_index = line_addr & self._set_mask
+        base = set_index * ways
+        tags = self._tags
+        evicted = None
+        if self._set_valid[set_index] == ways:
+            lru = self._lru
+            ship = self._ship
+            if lru is not None:
+                # Inlined LruPolicy.victim (first-minimum timestamp scan).
+                stamps = lru._timestamp
+                victim = base
+                best_stamp = stamps[base]
+                for slot in range(base + 1, base + ways):
+                    stamp = stamps[slot]
+                    if stamp < best_stamp:
+                        best_stamp = stamp
+                        victim = slot
+            elif ship is not None:
+                # Inlined ShipPolicy.victim (RRIP scan with aging).
+                rrpvs = ship._rrpv[set_index]
+                victim = -1
+                while victim < 0:
+                    for way in range(ways):
+                        if rrpvs[way] >= 3:
+                            victim = base + way
+                            break
+                    else:
+                        for way in range(ways):
+                            rrpvs[way] += 1
+            else:
+                victim = base + self._replacement.victim(set_index)
+            reused = self._reused[victim]
+            if ship is not None:
+                # Inlined ShipPolicy.on_eviction (SHCT training).
+                sig = ship._sig[victim]
+                count = ship._shct[sig]
+                if reused:
+                    if count < self._ship_shct_limit:
+                        ship._shct[sig] = count + 1
+                elif count > 0:
+                    ship._shct[sig] = count - 1
+            elif lru is None:
+                self._replacement.on_eviction(
+                    set_index, victim - base,
+                    was_reused=bool(reused),
+                    fill_pc=self._fill_pc[victim],
+                )
+            old_line = (tags[victim] << self._tag_shift) | set_index
+            del slot_of[old_line]
+            evicted = self._evicted_scratch
+            evicted.line_addr = old_line
+            evicted.dirty = bool(self._dirty[victim])
+            evicted.prefetched = bool(self._prefetched[victim])
+            evicted.reused = bool(reused)
+            evicted.evicted_for_prefetch = is_prefetch
+        else:
+            valid = self._valid
+            victim = base
+            while valid[victim]:
+                victim += 1
+            self._set_valid[set_index] += 1
+            self._resident += 1
+            valid[victim] = 1
+
+        tags[victim] = line_addr >> self._tag_shift
+        slot_of[line_addr] = victim
+        self._dirty[victim] = 1 if dirty else 0
+        self._prefetched[victim] = 1 if is_prefetch else 0
+        self._reused[victim] = 0
+        self._fill_pc[victim] = pc
+        self._from_dram[victim] = 1 if from_dram else 0
+        self._ready[victim] = ready_time
+        lru = self._lru
+        if lru is not None:
+            # Inlined LruPolicy.on_fill.
+            lru._clock += 1
+            lru._timestamp[victim] = lru._clock
+        elif self._ship is not None:
+            # Inlined ShipPolicy.on_fill (signature + RRPV insertion).
+            ship = self._ship
+            sig = (pc ^ (pc >> 14) ^ (pc >> 28)) % self._ship_shct_size
+            ship._sig[victim] = sig
+            if is_prefetch or ship._shct[sig] <= 0:
+                ship._rrpv[set_index][victim - base] = self._ship_distant
+            else:
+                ship._rrpv[set_index][victim - base] = 1
+        else:
+            self._replacement.on_fill(
+                set_index, victim - base, pc, is_prefetch
+            )
+        return evicted
 
     def fill(
         self,
@@ -124,72 +356,59 @@ class Cache:
         from_dram: bool = False,
         ready_time: float = 0.0,
     ) -> FillResult:
-        """Insert ``line_addr``; returns eviction info for the victim."""
-        si, way, line = self._find(line_addr)
-        if line is not None:
-            # Already present (e.g. prefetch raced a demand): just merge bits.
-            line.dirty = line.dirty or dirty
-            line.ready_time = min(line.ready_time, ready_time)
-            return FillResult(evicted=None)
+        """Insert ``line_addr``; returns eviction info for the victim.
 
-        lines = self._lines[si]
-        victim_way = next(
-            (w for w, l in enumerate(lines) if not l.valid), None
+        Object-returning wrapper around :meth:`fill_fast`; the returned
+        victim is an independent copy that stays valid across later fills.
+        """
+        evicted = self.fill_fast(
+            line_addr, pc, is_prefetch=is_prefetch, dirty=dirty,
+            from_dram=from_dram, ready_time=ready_time,
         )
-        evicted = None
-        if victim_way is None:
-            victim_way = self._replacement.victim(si)
-            victim = lines[victim_way]
-            self._replacement.on_eviction(
-                si, victim_way, was_reused=victim.reused, fill_pc=victim.fill_pc
-            )
-            evicted = EvictedLine(
-                line_addr=self._reconstruct_addr(si, victim.tag),
-                dirty=victim.dirty,
-                prefetched=victim.prefetched,
-                reused=victim.reused,
-                evicted_for_prefetch=is_prefetch,
-            )
-
-        new = lines[victim_way]
-        new.tag = self._tag(line_addr)
-        new.valid = True
-        new.dirty = dirty
-        new.prefetched = is_prefetch
-        new.reused = False
-        new.fill_pc = pc
-        new.filled_from_dram = from_dram
-        new.ready_time = ready_time
-        self._replacement.on_fill(si, victim_way, pc, is_prefetch)
-        return FillResult(evicted=evicted)
+        if evicted is None:
+            return FillResult(evicted=None)
+        return FillResult(evicted=EvictedLine(
+            line_addr=evicted.line_addr,
+            dirty=evicted.dirty,
+            prefetched=evicted.prefetched,
+            reused=evicted.reused,
+            evicted_for_prefetch=evicted.evicted_for_prefetch,
+        ))
 
     def _reconstruct_addr(self, set_index: int, tag: int) -> int:
-        return (tag << (self.num_sets.bit_length() - 1)) | set_index
+        return (tag << self._tag_shift) | set_index
 
     def invalidate(self, line_addr: int) -> bool:
         """Remove a line if present (used by tests and TTP mirroring)."""
-        _, _, line = self._find(line_addr)
-        if line is None:
+        slot = self._slot_of.pop(line_addr, -1)
+        if slot < 0:
             return False
-        line.valid = False
-        line.tag = -1
+        self._valid[slot] = 0
+        self._tags[slot] = -1
+        self._set_valid[line_addr & self._set_mask] -= 1
+        self._resident -= 1
         return True
 
     # -- introspection ------------------------------------------------------
 
     def occupancy(self) -> int:
-        return sum(
-            1 for s in self._lines for l in s if l.valid
-        )
+        """Number of resident lines — O(1), maintained on fill/invalidate."""
+        return self._resident
 
     def resident_lines(self):
         """Yield all resident line addresses (diagnostics and tests)."""
-        for si, lines in enumerate(self._lines):
-            for line in lines:
-                if line.valid:
-                    yield self._reconstruct_addr(si, line.tag)
+        ways = self.ways
+        tag_shift = self._tag_shift
+        for slot in range(self.num_sets * ways):
+            if self._valid[slot]:
+                yield (self._tags[slot] << tag_shift) | (slot // ways)
 
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def reset_hit_counters(self) -> None:
+        """Restart ``hits``/``misses`` (warmup-end measurement boundary)."""
+        self.hits = 0
+        self.misses = 0

@@ -25,6 +25,12 @@ from .params import CoreParams
 class CoreModel:
     """Timing state machine for one core."""
 
+    __slots__ = (
+        "params", "_inv_width", "_rob", "_penalty", "_commit_ring",
+        "_index", "_next_dispatch", "_last_commit", "_last_load_ready",
+        "_pending_dispatch",
+    )
+
     def __init__(self, params: CoreParams) -> None:
         self.params = params
         self._inv_width = 1.0 / params.width
@@ -47,9 +53,12 @@ class CoreModel:
         behind the previous load's completion (address dependence).
         """
         slot = self._commit_ring[self._index % self._rob]
-        dispatch = max(self._next_dispatch, slot)
+        next_dispatch = self._next_dispatch
+        dispatch = next_dispatch if next_dispatch >= slot else slot
         if dependent_load:
-            dispatch = max(dispatch, self._last_load_ready)
+            load_ready = self._last_load_ready
+            if load_ready > dispatch:
+                dispatch = load_ready
         self._pending_dispatch = dispatch
         return dispatch
 
@@ -66,16 +75,20 @@ class CoreModel:
         """
         dispatch = self._pending_dispatch
         ready = dispatch + latency
-        commit = max(self._last_commit + self._inv_width, ready)
+        limited = self._last_commit + self._inv_width
+        commit = limited if limited >= ready else ready
         self._commit_ring[self._index % self._rob] = commit
         self._index += 1
         self._last_commit = commit
-        self._next_dispatch = max(self._next_dispatch + self._inv_width, 0.0)
+        next_dispatch = self._next_dispatch + self._inv_width
         if is_load:
             self._last_load_ready = ready
         if mispredicted_branch:
             # The front end refills only after the branch resolves.
-            self._next_dispatch = max(self._next_dispatch, ready + self._penalty)
+            redirect = ready + self._penalty
+            if redirect > next_dispatch:
+                next_dispatch = redirect
+        self._next_dispatch = next_dispatch
         return commit
 
     def step(
@@ -92,6 +105,39 @@ class CoreModel:
             is_load=is_load,
             mispredicted_branch=mispredicted_branch,
         )
+
+    def run_simple(self, count: int) -> None:
+        """Bulk-execute ``count`` unit-latency, non-memory instructions.
+
+        Exactly equivalent to ``count`` calls of :meth:`step` with default
+        arguments (nops and correctly-predicted branches), but with the
+        state machine held in locals — the simulator's vectorized
+        pre-chunking funnels runs of non-memory instructions here.  The
+        floating-point operation sequence is identical to the per-call
+        path, so timing stays bit-identical.
+        """
+        ring = self._commit_ring
+        rob = self._rob
+        index = self._index
+        inv_width = self._inv_width
+        next_dispatch = self._next_dispatch
+        last_commit = self._last_commit
+        dispatch = self._pending_dispatch
+        for _ in range(count):
+            pos = index % rob
+            slot = ring[pos]
+            dispatch = next_dispatch if next_dispatch >= slot else slot
+            ready = dispatch + 1.0
+            limited = last_commit + inv_width
+            commit = limited if limited >= ready else ready
+            ring[pos] = commit
+            index += 1
+            last_commit = commit
+            next_dispatch = next_dispatch + inv_width
+        self._index = index
+        self._next_dispatch = next_dispatch
+        self._last_commit = last_commit
+        self._pending_dispatch = dispatch
 
     # -- clock ----------------------------------------------------------------
 

@@ -9,11 +9,16 @@ bandwidth-constrained configurations (paper §2.1.1, Figure 14).
 
 Per-bank row-buffer state provides the row-hit/row-miss latency split
 (tCAS vs tRP+tRCD+tCAS) of Table 5.
+
+Request counts are kept as four scalar counters; :meth:`kind_counts`
+snapshots them as a tuple (no per-epoch dict copies) and the
+``requests_by_kind`` property materializes the legacy dict on demand.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict, Tuple
 
 from .params import DramParams
 
@@ -23,6 +28,10 @@ class DramAccessResult:
     completion_time: float
     queue_delay: float
     row_hit: bool
+
+
+#: Order of per-kind counters in :meth:`MainMemory.kind_counts` tuples.
+KIND_ORDER = ("demand", "prefetch", "ocp", "writeback")
 
 
 class MainMemory:
@@ -39,18 +48,26 @@ class MainMemory:
         self._open_row = [-1] * params.num_banks
         self._bus_free = 0.0
         self._busy_cycles = 0.0
-        self.requests_by_kind = {
-            self.DEMAND: 0,
-            self.PREFETCH: 0,
-            self.OCP: 0,
-            self.WRITEBACK: 0,
-        }
-
-    def _locate(self, line_addr: int):
-        lines_per_row = self.params.lines_per_row
-        row = line_addr // lines_per_row
-        bank = row % self.params.num_banks
-        return bank, row
+        self._demand_requests = 0
+        self._prefetch_requests = 0
+        self._ocp_requests = 0
+        self._writeback_requests = 0
+        self._num_banks = params.num_banks
+        self._lines_per_row = params.lines_per_row
+        # Shift/mask fast paths when the geometry is power-of-two (line
+        # addresses are non-negative, so shift == floor-division).
+        lpr = params.lines_per_row
+        self._row_shift = (
+            lpr.bit_length() - 1 if lpr > 0 and lpr & (lpr - 1) == 0 else -1
+        )
+        banks = params.num_banks
+        self._bank_mask = (
+            banks - 1 if banks > 0 and banks & (banks - 1) == 0 else -1
+        )
+        self._t_cas = params.t_cas
+        self._t_rcd_cas = params.t_rcd + params.t_cas
+        self._t_rp_rcd_cas = params.t_rp + params.t_rcd + params.t_cas
+        self._transfer = params.line_transfer_cycles
 
     def access(self, now: float, line_addr: int, kind: str) -> DramAccessResult:
         """Issue one line transfer at time ``now``; returns completion time.
@@ -60,32 +77,44 @@ class MainMemory:
         scalars, so a burst of requests sees linearly growing queue delay —
         the bandwidth wall.
         """
-        if kind not in self.requests_by_kind:
+        if kind == "demand":
+            self._demand_requests += 1
+        elif kind == "prefetch":
+            self._prefetch_requests += 1
+        elif kind == "ocp":
+            self._ocp_requests += 1
+        elif kind == "writeback":
+            self._writeback_requests += 1
+        else:
             raise ValueError(f"unknown DRAM request kind {kind!r}")
-        self.requests_by_kind[kind] += 1
 
-        bank, row = self._locate(line_addr)
-        p = self.params
+        row = line_addr // self._lines_per_row
+        bank = row % self._num_banks
+        open_rows = self._open_row
+        bank_free = self._bank_free
 
-        bank_ready = max(now, self._bank_free[bank])
-        if self._open_row[bank] == row:
-            access_latency = p.t_cas
+        free_at = bank_free[bank]
+        bank_ready = now if now >= free_at else free_at
+        open_row = open_rows[bank]
+        if open_row == row:
+            access_latency = self._t_cas
             row_hit = True
-        elif self._open_row[bank] == -1:
-            access_latency = p.t_rcd + p.t_cas
+        elif open_row == -1:
+            access_latency = self._t_rcd_cas
             row_hit = False
         else:
-            access_latency = p.t_rp + p.t_rcd + p.t_cas
+            access_latency = self._t_rp_rcd_cas
             row_hit = False
-        self._open_row[bank] = row
+        open_rows[bank] = row
 
         data_ready = bank_ready + access_latency
-        transfer_start = max(data_ready, self._bus_free)
-        transfer = p.line_transfer_cycles
+        bus_free = self._bus_free
+        transfer_start = data_ready if data_ready >= bus_free else bus_free
+        transfer = self._transfer
         completion = transfer_start + transfer
 
         self._bus_free = completion
-        self._bank_free[bank] = data_ready
+        bank_free[bank] = data_ready
         self._busy_cycles += transfer
 
         queue_delay = completion - now - access_latency - transfer
@@ -95,7 +124,71 @@ class MainMemory:
             row_hit=row_hit,
         )
 
+    def access_time(self, now: float, line_addr: int, kind: str) -> float:
+        """Hot-path :meth:`access`: same state updates, returns only the
+        completion time (no per-request result object)."""
+        if kind == "demand":
+            self._demand_requests += 1
+        elif kind == "prefetch":
+            self._prefetch_requests += 1
+        elif kind == "ocp":
+            self._ocp_requests += 1
+        elif kind == "writeback":
+            self._writeback_requests += 1
+        else:
+            raise ValueError(f"unknown DRAM request kind {kind!r}")
+
+        row_shift = self._row_shift
+        if row_shift >= 0:
+            row = line_addr >> row_shift
+        else:
+            row = line_addr // self._lines_per_row
+        bank_mask = self._bank_mask
+        bank = row & bank_mask if bank_mask >= 0 else row % self._num_banks
+        open_rows = self._open_row
+        bank_free = self._bank_free
+
+        free_at = bank_free[bank]
+        bank_ready = now if now >= free_at else free_at
+        open_row = open_rows[bank]
+        if open_row == row:
+            access_latency = self._t_cas
+        elif open_row == -1:
+            access_latency = self._t_rcd_cas
+        else:
+            access_latency = self._t_rp_rcd_cas
+        open_rows[bank] = row
+
+        data_ready = bank_ready + access_latency
+        bus_free = self._bus_free
+        transfer_start = data_ready if data_ready >= bus_free else bus_free
+        completion = transfer_start + self._transfer
+
+        self._bus_free = completion
+        bank_free[bank] = data_ready
+        self._busy_cycles += self._transfer
+        return completion
+
     # -- telemetry -----------------------------------------------------------
+
+    def kind_counts(self) -> Tuple[int, int, int, int]:
+        """(demand, prefetch, ocp, writeback) counts — cheap epoch snapshot."""
+        return (
+            self._demand_requests,
+            self._prefetch_requests,
+            self._ocp_requests,
+            self._writeback_requests,
+        )
+
+    @property
+    def requests_by_kind(self) -> Dict[str, int]:
+        """Per-kind request counts as a dict (legacy interface)."""
+        return {
+            self.DEMAND: self._demand_requests,
+            self.PREFETCH: self._prefetch_requests,
+            self.OCP: self._ocp_requests,
+            self.WRITEBACK: self._writeback_requests,
+        }
 
     @property
     def next_bus_free(self) -> float:
@@ -104,7 +197,10 @@ class MainMemory:
 
     @property
     def total_requests(self) -> int:
-        return sum(self.requests_by_kind.values())
+        return (
+            self._demand_requests + self._prefetch_requests
+            + self._ocp_requests + self._writeback_requests
+        )
 
     @property
     def busy_cycles(self) -> float:

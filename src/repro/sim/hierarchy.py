@@ -14,6 +14,12 @@ drives.  It implements the mechanisms the paper's observations rest on:
   lines, consuming DRAM bandwidth and potentially polluting the LLC;
 * fills, evictions, pollution, prefetch usefulness and off-chip fill
   accuracy (Figure 3) are all tracked and exposed to coordination policies.
+
+The demand path is allocation-free: cache lookups/fills return slot
+indices / reused scratch objects (struct-of-arrays caches), the per-level
+latencies are precomputed floats, observer notifications are skipped when
+no observer is attached, and :meth:`load` returns a single reused
+:class:`LoadResult` scratch consumed immediately by the caller.
 """
 
 from __future__ import annotations
@@ -31,6 +37,8 @@ from .stats import SimStats
 #: pollution filter; also bounds memory in long runs).
 _POLLUTION_WINDOW = 1 << 15
 
+_LINE_MASK = (1 << LINE_SHIFT) - 1
+
 PrefetchFilter = Callable[[int, int, str], bool]
 
 
@@ -38,6 +46,8 @@ class CacheHierarchy:
     """Single core's view of the memory system.
 
     ``llc`` and ``dram`` may be shared across hierarchies (multi-core).
+    The prefetcher list is fixed at construction (coordination policies
+    toggle ``enabled`` flags rather than mutating the list).
     """
 
     def __init__(
@@ -60,6 +70,10 @@ class CacheHierarchy:
         for pf in self.prefetchers:
             if pf.level not in ("l1d", "l2c"):
                 raise ValueError(f"{pf.name}: unsupported level {pf.level!r}")
+        self._l1_prefetchers = [p for p in self.prefetchers
+                                if p.level == "l1d"]
+        self._l2_prefetchers = [p for p in self.prefetchers
+                                if p.level == "l2c"]
         #: Optional per-request prefetch drop filter (used by TLP).
         self.prefetch_filter: Optional[PrefetchFilter] = None
         #: Recently prefetch-evicted LLC victims, for pollution accounting.
@@ -67,76 +81,134 @@ class CacheHierarchy:
         self._pollution_clock = 0
         #: Observers notified of microarchitectural events (Athena trackers).
         self.observers: List = []
+        # Per-method bound-callback cache, rebuilt when the observers list
+        # changes (compared by content, so same-length replacement is
+        # detected too).
+        self._observer_methods: dict = {}
+        self._observer_snapshot: List = []
+        # Precomputed cumulative round-trip latencies (hot-path constants).
+        self._lat_l1 = float(params.l1d.latency)
+        self._lat_l1_l2 = float(params.l1d.latency + params.l2c.latency)
+        self._lat_onchip = float(
+            params.l1d.latency + params.l2c.latency + params.llc.latency
+        )
+        self._ocp_issue_latency = params.ocp_issue_latency
+        # Bound-method handles (cache and DRAM wiring is fixed after init).
+        self._dram_access_time = self.dram.access_time
+        self._l1d_lookup = self.l1d.lookup_slot
+        self._l2c_lookup = self.l2c.lookup_slot
+        self._llc_lookup = self.llc.lookup_slot
+        # L1 demand lookups are inlined in load() when L1 runs LRU (the
+        # stock configuration); None falls back to the generic path.
+        self._l1_lru = self.l1d._lru
+        self._l1_slot_get = self.l1d._slot_get
+        self._load_result = LoadResult(0.0, False)
 
     # ------------------------------------------------------------------ events
 
     def _notify(self, method: str, *args) -> None:
-        for obs in self.observers:
-            getattr(obs, method, _ignore)(*args)
+        observers = self.observers
+        if observers != self._observer_snapshot:
+            self._observer_methods = {}
+            self._observer_snapshot = list(observers)
+        callbacks = self._observer_methods.get(method)
+        if callbacks is None:
+            callbacks = [
+                getattr(obs, method) for obs in observers
+                if getattr(obs, method, None) is not None
+            ]
+            self._observer_methods[method] = callbacks
+        for callback in callbacks:
+            callback(*args)
 
     # ------------------------------------------------------------------ demand
 
     def load(self, pc: int, addr: int, now: float) -> "LoadResult":
-        """Perform a demand load; returns its latency and outcome."""
+        """Perform a demand load; returns its latency and outcome.
+
+        The returned :class:`LoadResult` is a scratch object reused by the
+        next load on this hierarchy — consume it before calling again.
+        """
         line = addr >> LINE_SHIFT
-        byte_offset = addr & ((1 << LINE_SHIFT) - 1)
-        p = self.params
+        byte_offset = addr & _LINE_MASK
         stats = self.stats
+        observers = self.observers
+        ocp = self.ocp
 
         # 1. Off-chip prediction races the cache lookup.
         ocp_predicted = False
         ocp_completion = None
-        if self.ocp is not None:
-            predicted = self.ocp.predict(pc, line, byte_offset)
-            if predicted:
+        if ocp is not None:
+            if ocp.predict(pc, line, byte_offset):
                 ocp_predicted = True
                 stats.ocp_predictions += 1
-                issue_time = now + p.ocp_issue_latency
-                res = self.dram.access(issue_time, line, MainMemory.OCP)
+                ocp_completion = self._dram_access_time(
+                    now + self._ocp_issue_latency, line, "ocp")
                 stats.dram_ocp_requests += 1
-                ocp_completion = res.completion_time
-                self._notify("on_ocp_request", line)
+                if observers:
+                    self._notify("on_ocp_request", line)
 
         # 2. Walk the hierarchy.
         went_offchip = False
-        hit_l1 = self.l1d.lookup(line, pc)
-        if hit_l1 is not None:
+        l1d = self.l1d
+        lru = self._l1_lru
+        if lru is not None:
+            # Inlined Cache.lookup_slot for the L1-LRU fast path.
+            slot = self._l1_slot_get(line, -1)
+            if slot >= 0:
+                l1d.hits += 1
+                l1d._reused[slot] = 1
+                lru._clock += 1
+                lru._timestamp[slot] = lru._clock
+            else:
+                l1d.misses += 1
+        else:
+            slot = self._l1d_lookup(line, pc)
+        if slot >= 0:
             stats.l1d_hits += 1
-            latency = max(float(p.l1d.latency), hit_l1.ready_time - now)
-            if hit_l1.prefetched:
-                self._credit_useful_prefetch(hit_l1, line, "l1d")
-            self._train_l1_prefetchers(pc, line, hit=True, now=now)
+            lat = self._lat_l1
+            wait = l1d._ready[slot] - now
+            latency = lat if lat >= wait else wait
+            if l1d._prefetched[slot]:
+                self._credit_useful_prefetch(l1d, slot, line, "l1d")
+            if self._l1_prefetchers:
+                self._train_l1_prefetchers(pc, line, True, now)
         else:
             stats.l1d_misses += 1
-            self._train_l1_prefetchers(pc, line, hit=False, now=now)
-            hit_l2 = self.l2c.lookup(line, pc)
-            if hit_l2 is not None:
+            if self._l1_prefetchers:
+                self._train_l1_prefetchers(pc, line, False, now)
+            l2c = self.l2c
+            slot = self._l2c_lookup(line, pc)
+            if slot >= 0:
                 stats.l2c_hits += 1
-                latency = max(
-                    float(p.l1d.latency + p.l2c.latency),
-                    hit_l2.ready_time - now,
-                )
-                self._fill_level(self.l1d, line, pc,
-                                 ready_time=hit_l2.ready_time)
-                if hit_l2.prefetched:
-                    self._credit_useful_prefetch(hit_l2, line, "l2c")
-                self._train_l2_prefetchers(pc, line, hit=True, now=now)
+                ready = l2c._ready[slot]
+                lat = self._lat_l1_l2
+                wait = ready - now
+                latency = lat if lat >= wait else wait
+                self._fill_level(l1d, line, pc, False, False, False,
+                                 ready)
+                if l2c._prefetched[slot]:
+                    self._credit_useful_prefetch(l2c, slot, line, "l2c")
+                if self._l2_prefetchers:
+                    self._train_l2_prefetchers(pc, line, True, now)
             else:
                 stats.l2c_misses += 1
-                self._train_l2_prefetchers(pc, line, hit=False, now=now)
-                hit_llc = self.llc.lookup(line, pc)
-                if hit_llc is not None:
+                if self._l2_prefetchers:
+                    self._train_l2_prefetchers(pc, line, False, now)
+                llc = self.llc
+                slot = self._llc_lookup(line, pc)
+                if slot >= 0:
                     stats.llc_hits += 1
-                    latency = max(
-                        float(p.l1d.latency + p.l2c.latency + p.llc.latency),
-                        hit_llc.ready_time - now,
-                    )
-                    self._fill_level(self.l2c, line, pc,
-                                     ready_time=hit_llc.ready_time)
-                    self._fill_level(self.l1d, line, pc,
-                                     ready_time=hit_llc.ready_time)
-                    if hit_llc.prefetched:
-                        self._credit_useful_prefetch(hit_llc, line, "llc")
+                    ready = llc._ready[slot]
+                    lat = self._lat_onchip
+                    wait = ready - now
+                    latency = lat if lat >= wait else wait
+                    self._fill_level(l2c, line, pc, False, False, False,
+                                     ready)
+                    self._fill_level(l1d, line, pc, False, False, False,
+                                     ready)
+                    if llc._prefetched[slot]:
+                        self._credit_useful_prefetch(llc, slot, line, "llc")
                 else:
                     went_offchip = True
                     latency = self._serve_offchip_load(
@@ -144,14 +216,27 @@ class CacheHierarchy:
                     )
 
         # 3. Resolve OCP training and accuracy accounting.
-        if self.ocp is not None:
-            self.ocp.train(pc, line, went_offchip, byte_offset)
+        if ocp is not None:
+            ocp.train(pc, line, went_offchip, byte_offset)
             if ocp_predicted and went_offchip:
                 stats.ocp_correct += 1
-                self._notify("on_ocp_correct", line)
+                if observers:
+                    self._notify("on_ocp_correct", line)
 
-        self._notify("on_demand_load", pc, line, went_offchip)
-        return LoadResult(latency=latency, went_offchip=went_offchip)
+        if observers:
+            # Direct dispatch of the per-load event: same callback cache
+            # as _notify, minus the varargs call (hot with Athena
+            # trackers attached).
+            callbacks = self._observer_methods.get("on_demand_load")
+            if callbacks is None or observers != self._observer_snapshot:
+                self._notify("on_demand_load", pc, line, went_offchip)
+            else:
+                for callback in callbacks:
+                    callback(pc, line, went_offchip)
+        result = self._load_result
+        result.latency = latency
+        result.went_offchip = went_offchip
+        return result
 
     def _serve_offchip_load(
         self,
@@ -163,34 +248,37 @@ class CacheHierarchy:
     ) -> float:
         """Fetch a demand miss from DRAM; OCP hit short-circuits the lookup."""
         p = self.params
-        onchip_lookup = p.l1d.latency + p.l2c.latency + p.llc.latency
+        stats = self.stats
         if ocp_predicted and ocp_completion is not None:
             # The speculative request *is* the fetch: data arrives when the
             # early DRAM access completes (but the demand still pays at
             # least its L1 lookup before the miss is known to the core).
-            latency = max(ocp_completion - now, float(p.l1d.latency))
-            saved = (now + onchip_lookup) - (now + p.ocp_issue_latency)
-            self.stats.ocp_saved_cycles += max(0.0, saved)
+            wait = ocp_completion - now
+            lat1 = self._lat_l1
+            latency = wait if wait >= lat1 else lat1
+            saved = (now + self._lat_onchip) - (now + p.ocp_issue_latency)
+            if saved > 0.0:
+                stats.ocp_saved_cycles += saved
         else:
-            issue_time = now + onchip_lookup
-            res = self.dram.access(issue_time, line, MainMemory.DEMAND)
-            self.stats.dram_demand_requests += 1
-            latency = res.completion_time - now
-        self.stats.llc_miss_latency_sum += latency
-        self.stats.llc_misses += 1
-        if line in self._pollution_victims:
-            self.stats.pollution_misses += 1
-            del self._pollution_victims[line]
-            self._notify("on_pollution_miss", line)
-        self._notify("on_llc_demand_miss", line)
+            issue_time = now + self._lat_onchip
+            completion = self._dram_access_time(issue_time, line, "demand")
+            stats.dram_demand_requests += 1
+            latency = completion - now
+        stats.llc_miss_latency_sum += latency
+        stats.llc_misses += 1
+        pollution = self._pollution_victims
+        if line in pollution:
+            stats.pollution_misses += 1
+            del pollution[line]
+            if self.observers:
+                self._notify("on_pollution_miss", line)
+        if self.observers:
+            self._notify("on_llc_demand_miss", line)
 
         arrival = now + latency
-        self._fill_level(self.llc, line, pc, from_dram=True,
-                         ready_time=arrival)
-        self._fill_level(self.l2c, line, pc, from_dram=True,
-                         ready_time=arrival)
-        self._fill_level(self.l1d, line, pc, from_dram=True,
-                         ready_time=arrival)
+        self._fill_level(self.llc, line, pc, False, False, True, arrival)
+        self._fill_level(self.l2c, line, pc, False, False, True, arrival)
+        self._fill_level(self.l1d, line, pc, False, False, True, arrival)
         if self.ocp is not None:
             self.ocp.on_fill(line)
         return latency
@@ -203,21 +291,21 @@ class CacheHierarchy:
         stores retire through the store queue off the critical path.
         """
         line = addr >> LINE_SHIFT
-        hit = self.l1d.lookup(line, pc, is_write=True)
-        if hit is None:
+        slot = self._l1d_lookup(line, pc, True)
+        if slot < 0:
             if self.l2c.probe(line):
-                self.l2c.lookup(line, pc)
+                self.l2c.lookup_slot(line, pc)
             elif self.llc.probe(line):
-                self.llc.lookup(line, pc)
+                self.llc.lookup_slot(line, pc)
                 self._fill_level(self.l2c, line, pc)
             else:
-                self.dram.access(now, line, MainMemory.DEMAND)
+                self.dram.access_time(now, line, "demand")
                 self.stats.dram_demand_requests += 1
-                self._fill_level(self.llc, line, pc, from_dram=True)
-                self._fill_level(self.l2c, line, pc, from_dram=True)
+                self._fill_level(self.llc, line, pc, False, False, True)
+                self._fill_level(self.l2c, line, pc, False, False, True)
                 if self.ocp is not None:
                     self.ocp.on_fill(line)
-            self._fill_level(self.l1d, line, pc, dirty=True)
+            self._fill_level(self.l1d, line, pc, False, True)
         return 1.0
 
     # ------------------------------------------------------------------ fills
@@ -232,31 +320,30 @@ class CacheHierarchy:
         from_dram: bool = False,
         ready_time: float = 0.0,
     ) -> None:
-        result = cache.fill(
-            line, pc, is_prefetch=is_prefetch, dirty=dirty,
-            from_dram=from_dram, ready_time=ready_time,
-        )
-        evicted = result.evicted
+        evicted = cache.fill_fast(line, pc, is_prefetch, dirty,
+                                  from_dram, ready_time)
         if evicted is None:
             return
         if cache is self.llc:
             if evicted.dirty:
                 # Writebacks consume bus bandwidth at an approximate time.
-                self.dram.access(
-                    self.dram.next_bus_free, evicted.line_addr,
-                    MainMemory.WRITEBACK,
+                self.dram.access_time(
+                    self.dram.next_bus_free, evicted.line_addr, "writeback",
                 )
                 self.stats.dram_writeback_requests += 1
             if self.ocp is not None:
                 self.ocp.on_eviction(evicted.line_addr)
             if evicted.evicted_for_prefetch:
                 self._record_pollution_victim(evicted.line_addr)
-                self._notify("on_prefetch_eviction", evicted.line_addr)
+                if self.observers:
+                    self._notify("on_prefetch_eviction", evicted.line_addr)
         else:
-            # Non-LLC evictions write back into the next level.
+            # Non-LLC evictions write back into the next level.  The next
+            # level's fill uses its own eviction scratch, so ``evicted``
+            # stays valid across this call.
             if evicted.dirty:
                 nxt = self.l2c if cache is self.l1d else self.llc
-                nxt.fill(evicted.line_addr, pc, dirty=True)
+                nxt.fill_fast(evicted.line_addr, pc, False, True)
         if evicted.prefetched and evicted.line_addr != line:
             # Prefetched line evicted without ever being demanded.
             if cache.params.name in ("L1D", "L2C"):
@@ -276,39 +363,40 @@ class CacheHierarchy:
             oldest = min(self._pollution_victims, key=self._pollution_victims.get)
             del self._pollution_victims[oldest]
 
-    def _credit_useful_prefetch(self, cache_line, line: int,
+    def _credit_useful_prefetch(self, cache: Cache, slot: int, line: int,
                                 level: str = "llc") -> None:
-        cache_line.prefetched = False
-        self.stats.prefetches_useful += 1
-        if cache_line.filled_from_dram:
-            self.stats.prefetches_useful_offchip += 1
+        cache._prefetched[slot] = 0
+        stats = self.stats
+        stats.prefetches_useful += 1
+        if cache._from_dram[slot]:
+            stats.prefetches_useful_offchip += 1
             if level == "l1d":
-                self.stats.prefetches_useful_offchip_l1d += 1
+                stats.prefetches_useful_offchip_l1d += 1
             elif level == "l2c":
-                self.stats.prefetches_useful_offchip_l2c += 1
+                stats.prefetches_useful_offchip_l2c += 1
         for pf in self.prefetchers:
             pf.on_prefetch_useful(line)
-        self._notify("on_prefetch_useful", line)
+        if self.observers:
+            self._notify("on_prefetch_useful", line)
 
     # ------------------------------------------------------------------ prefetch
 
     def _train_l1_prefetchers(self, pc: int, line: int, hit: bool, now: float) -> None:
-        for pf in self.prefetchers:
-            if pf.level == "l1d":
-                self._issue_prefetches(pf, pf.observe(pc, line, hit), pc, now)
+        for pf in self._l1_prefetchers:
+            self._issue_prefetches(pf, pf.observe(pc, line, hit), pc, now)
 
     def _train_l2_prefetchers(self, pc: int, line: int, hit: bool, now: float) -> None:
-        for pf in self.prefetchers:
-            if pf.level == "l2c":
-                self._issue_prefetches(pf, pf.observe(pc, line, hit), pc, now)
+        for pf in self._l2_prefetchers:
+            self._issue_prefetches(pf, pf.observe(pc, line, hit), pc, now)
 
     def _issue_prefetches(
         self, pf: Prefetcher, candidates: List[int], pc: int, now: float
     ) -> None:
+        prefetch_filter = self.prefetch_filter
         for cand in candidates:
             if cand < 0:
                 continue
-            if self.prefetch_filter is not None and not self.prefetch_filter(
+            if prefetch_filter is not None and not prefetch_filter(
                 pc, cand, pf.level
             ):
                 continue
@@ -317,40 +405,36 @@ class CacheHierarchy:
     def _issue_one_prefetch(
         self, pf: Prefetcher, line: int, pc: int, now: float
     ) -> None:
-        target = self.l1d if pf.level == "l1d" else self.l2c
-        if target.probe(line):
+        is_l1 = pf.level == "l1d"
+        target = self.l1d if is_l1 else self.l2c
+        if line in target._slot_of:
             return
-        self.stats.prefetches_issued += 1
-        self._notify("on_prefetch_issued", line)
+        stats = self.stats
+        stats.prefetches_issued += 1
+        if self.observers:
+            self._notify("on_prefetch_issued", line)
 
         from_dram = False
         arrival = now
-        if pf.level == "l1d" and self.l2c.probe(line):
+        if is_l1 and line in self.l2c._slot_of:
             pass  # pulled up from L2, no off-chip traffic
-        elif self.llc.probe(line):
+        elif line in self.llc._slot_of:
             pass  # pulled up from LLC, no off-chip traffic
         else:
-            result = self.dram.access(now, line, MainMemory.PREFETCH)
-            self.stats.dram_prefetch_requests += 1
+            arrival = self._dram_access_time(now, line, "prefetch")
+            stats.dram_prefetch_requests += 1
             from_dram = True
-            arrival = result.completion_time
-            self.stats.prefetch_fills_offchip += 1
-            if pf.level == "l1d":
-                self.stats.prefetch_fills_offchip_l1d += 1
+            stats.prefetch_fills_offchip += 1
+            if is_l1:
+                stats.prefetch_fills_offchip_l1d += 1
             else:
-                self.stats.prefetch_fills_offchip_l2c += 1
-            self._fill_level(
-                self.llc, line, pc, is_prefetch=True, from_dram=True,
-                ready_time=arrival,
-            )
+                stats.prefetch_fills_offchip_l2c += 1
+            self._fill_level(self.llc, line, pc, True, False, True,
+                             arrival)
             if self.ocp is not None:
                 self.ocp.on_fill(line)
-        if pf.level == "l1d":
-            self._fill_level(self.l1d, line, pc, is_prefetch=True,
-                             from_dram=from_dram, ready_time=arrival)
-        else:
-            self._fill_level(self.l2c, line, pc, is_prefetch=True,
-                             from_dram=from_dram, ready_time=arrival)
+        self._fill_level(target, line, pc, True, False, from_dram,
+                         arrival)
         pf.on_prefetch_filled(line, from_dram)
 
     # ------------------------------------------------------------------ control
@@ -370,6 +454,18 @@ class CacheHierarchy:
     def set_degree_fraction(self, fraction: float) -> None:
         for pf in self.prefetchers:
             pf.set_degree_fraction(fraction)
+
+    def reset_cache_hit_counters(self, include_shared: bool = True) -> None:
+        """Restart the per-cache hit/miss counters (warmup-end boundary).
+
+        ``include_shared=False`` leaves the (possibly shared) LLC alone —
+        multi-core runs reset only private levels, since cores reach their
+        warmup boundary at different times.
+        """
+        self.l1d.reset_hit_counters()
+        self.l2c.reset_hit_counters()
+        if include_shared:
+            self.llc.reset_hit_counters()
 
 
 class LoadResult:

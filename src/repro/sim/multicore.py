@@ -36,7 +36,7 @@ from .cpu import CoreModel
 from .dram import MainMemory
 from .hierarchy import CacheHierarchy
 from .params import SystemParams
-from .simulator import Simulator, hierarchy_kind_delta
+from .simulator import Simulator
 from .stats import SimStats
 
 
@@ -92,10 +92,15 @@ class _CoreContext:
         self.warmup_instructions = 0
         self.measure_start_cycles = 0.0
         self._warmed = False
+        # Plain-scalar trace columns, converted once (no per-instruction
+        # int(np.int64) conversions in step()).
+        self._pcs = trace.pcs.tolist()
+        self._addrs = trace.addrs.tolist()
+        self._flags = trace.flags.tolist()
         self._epoch_snapshot = hierarchy.stats.snapshot()
         self._epoch_cycles = 0.0
         self._epoch_busy = hierarchy.dram.busy_cycles
-        self._epoch_kinds = dict(hierarchy.dram.requests_by_kind)
+        self._epoch_kinds = hierarchy.dram.kind_counts()
         self._epoch_index = 0
         if policy is not None:
             policy.attach(hierarchy)
@@ -105,25 +110,24 @@ class _CoreContext:
 
     def step(self) -> None:
         """Execute one instruction (replaying the trace as needed)."""
-        trace = self.trace
-        i = self.index % len(trace)
-        f = trace.flags[i]
+        i = self.index % len(self._flags)
+        f = self._flags[i]
         hierarchy = self.hierarchy
         core = self.core
         stats = hierarchy.stats
         if f & FLAG_LOAD:
-            issue = core.begin(dependent_load=bool(f & FLAG_DEP))
-            result = hierarchy.load(int(trace.pcs[i]), int(trace.addrs[i]), issue)
-            core.finish(latency=result.latency, is_load=True)
+            issue = core.begin((f & FLAG_DEP) != 0)
+            result = hierarchy.load(self._pcs[i], self._addrs[i], issue)
+            core.finish(result.latency, True)
             stats.loads += 1
         elif f & FLAG_STORE:
             issue = core.begin()
-            latency = hierarchy.store(int(trace.pcs[i]), int(trace.addrs[i]), issue)
-            core.finish(latency=latency)
+            latency = hierarchy.store(self._pcs[i], self._addrs[i], issue)
+            core.finish(latency)
             stats.stores += 1
         elif f & FLAG_BRANCH:
             mispred = bool(f & FLAG_MISPRED)
-            core.step(latency=1.0, mispredicted_branch=mispred)
+            core.step(1.0, False, False, mispred)
             stats.branches += 1
             if mispred:
                 stats.mispredicted_branches += 1
@@ -134,14 +138,18 @@ class _CoreContext:
         self.retired += 1
         if not self._warmed and self.retired >= self.warmup_instructions:
             # End of this core's warm-up: caches and predictors stay warm,
-            # measured statistics restart (paper §6.1 methodology).
+            # measured statistics restart (paper §6.1 methodology).  Only
+            # the private caches' hit counters reset — the shared LLC is
+            # still mid-warmup for other cores.
             self._warmed = True
             self.measure_start_cycles = core.cycles
-            Simulator._reset_measured_stats(stats)
+            Simulator._reset_measured_stats(
+                stats, hierarchy, include_shared_caches=False
+            )
             self._epoch_snapshot = stats.snapshot()
             self._epoch_cycles = core.cycles
             self._epoch_busy = hierarchy.dram.busy_cycles
-            self._epoch_kinds = dict(hierarchy.dram.requests_by_kind)
+            self._epoch_kinds = hierarchy.dram.kind_counts()
         if self.policy is not None and self.retired % self.epoch_length == 0:
             self._end_epoch()
 
@@ -165,7 +173,7 @@ class _CoreContext:
         self._epoch_snapshot = hierarchy.stats.snapshot()
         self._epoch_cycles = self.core.cycles
         self._epoch_busy = hierarchy.dram.busy_cycles
-        self._epoch_kinds = dict(hierarchy.dram.requests_by_kind)
+        self._epoch_kinds = hierarchy.dram.kind_counts()
 
 
 class MultiCoreSimulator:

@@ -3,6 +3,11 @@
 SHiP [Wu+, MICRO'11] predicts re-reference behaviour per program-counter
 signature.  We implement SHiP-PC over an RRIP backbone, which is the
 configuration ChampSim ships and the paper cites for its LLC.
+
+State is array-backed for speed: LRU keeps one flat timestamp list
+indexed by ``set_index * ways + way``; SHiP keeps per-set ``bytearray``
+RRPV rows (2-bit counters fit a byte) and a flat signature list.  The
+``(set_index, way)`` method interface is unchanged.
 """
 
 from __future__ import annotations
@@ -39,26 +44,32 @@ class ReplacementPolicy(abc.ABC):
 
 
 class LruPolicy(ReplacementPolicy):
-    """Classic least-recently-used stacks, one per set."""
+    """Classic least-recently-used stacks, one per set (flat timestamps)."""
 
     def __init__(self, num_sets: int, ways: int) -> None:
         super().__init__(num_sets, ways)
         self._clock = 0
-        self._timestamp = [[0] * ways for _ in range(num_sets)]
-
-    def _touch(self, set_index: int, way: int) -> None:
-        self._clock += 1
-        self._timestamp[set_index][way] = self._clock
+        self._timestamp = [0] * (num_sets * ways)
 
     def on_hit(self, set_index: int, way: int, pc: int) -> None:
-        self._touch(set_index, way)
+        self._clock += 1
+        self._timestamp[set_index * self.ways + way] = self._clock
 
     def on_fill(self, set_index: int, way: int, pc: int, is_prefetch: bool) -> None:
-        self._touch(set_index, way)
+        self._clock += 1
+        self._timestamp[set_index * self.ways + way] = self._clock
 
     def victim(self, set_index: int) -> int:
-        stamps = self._timestamp[set_index]
-        return min(range(self.ways), key=stamps.__getitem__)
+        stamps = self._timestamp
+        base = set_index * self.ways
+        best = 0
+        best_stamp = stamps[base]
+        for way in range(1, self.ways):
+            stamp = stamps[base + way]
+            if stamp < best_stamp:
+                best_stamp = stamp
+                best = way
+        return best
 
 
 class ShipPolicy(ReplacementPolicy):
@@ -76,9 +87,11 @@ class ShipPolicy(ReplacementPolicy):
 
     def __init__(self, num_sets: int, ways: int) -> None:
         super().__init__(num_sets, ways)
-        self._rrpv = [[self.RRPV_MAX] * ways for _ in range(num_sets)]
+        self._rrpv = [
+            bytearray([self.RRPV_MAX] * ways) for _ in range(num_sets)
+        ]
         self._shct = [1] * self.SHCT_SIZE
-        self._sig = [[0] * ways for _ in range(num_sets)]
+        self._sig = [0] * (num_sets * ways)
 
     @classmethod
     def _signature(cls, pc: int) -> int:
@@ -88,31 +101,36 @@ class ShipPolicy(ReplacementPolicy):
         self._rrpv[set_index][way] = 0
 
     def on_fill(self, set_index: int, way: int, pc: int, is_prefetch: bool) -> None:
-        sig = self._signature(pc)
-        self._sig[set_index][way] = sig
-        predicted_reuse = self._shct[sig] > 0
-        if is_prefetch or not predicted_reuse:
+        sig = (pc ^ (pc >> 14) ^ (pc >> 28)) % self.SHCT_SIZE
+        self._sig[set_index * self.ways + way] = sig
+        if is_prefetch or self._shct[sig] <= 0:
             self._rrpv[set_index][way] = self.RRPV_MAX - 1
         else:
             self._rrpv[set_index][way] = 1
 
     def victim(self, set_index: int) -> int:
         rrpvs = self._rrpv[set_index]
+        ways = self.ways
+        rrpv_max = self.RRPV_MAX
         while True:
-            for way in range(self.ways):
-                if rrpvs[way] >= self.RRPV_MAX:
+            for way in range(ways):
+                if rrpvs[way] >= rrpv_max:
                     return way
-            for way in range(self.ways):
+            for way in range(ways):
                 rrpvs[way] += 1
+    # NB: the aging loop is bounded — 2-bit counters reach RRPV_MAX within
+    # RRPV_MAX iterations of the outer while.
 
     def on_eviction(self, set_index: int, way: int, was_reused: bool,
                     fill_pc: int) -> None:
-        sig = self._sig[set_index][way]
+        sig = self._sig[set_index * self.ways + way]
         limit = (1 << self.SHCT_BITS) - 1
+        count = self._shct[sig]
         if was_reused:
-            self._shct[sig] = min(limit, self._shct[sig] + 1)
-        else:
-            self._shct[sig] = max(0, self._shct[sig] - 1)
+            if count < limit:
+                self._shct[sig] = count + 1
+        elif count > 0:
+            self._shct[sig] = count - 1
 
 
 def make_replacement(kind: str, num_sets: int, ways: int) -> ReplacementPolicy:

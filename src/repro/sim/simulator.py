@@ -6,12 +6,24 @@ timing model.  Every ``epoch_length`` retired instructions the simulator
 snapshots the epoch's telemetry (paper Table 1 features + Table 2 reward
 metrics) and asks the coordination policy for the next epoch's action —
 this is Athena's agent-environment loop (paper Figure 5).
+
+The run loop is chunked: trace positions needing individual handling
+(loads, stores, mispredicted branches) are precomputed with numpy, and
+the runs of unit-latency instructions between them — nops and correctly
+predicted branches — are stepped in bulk through
+:meth:`~repro.sim.cpu.CoreModel.run_simple`, with branch counts taken
+from a prefix sum.  Chunks additionally break at epoch boundaries and at
+the warmup end, so policy decisions and the measurement reset happen at
+exactly the same instruction positions (and with bit-identical timing)
+as the one-instruction-at-a-time loop they replace.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, List, Optional
+from dataclasses import dataclass, field, fields
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+import numpy as np
 
 if TYPE_CHECKING:  # imported lazily to avoid a sim <-> policies cycle
     from ..policies.base import CoordinationAction, CoordinationPolicy
@@ -88,64 +100,171 @@ class Simulator:
         stats = hierarchy.stats
         policy = self.policy
         epoch_len = self.epoch_length
+        dram = hierarchy.dram
 
-        pcs = trace.pcs
-        addrs = trace.addrs
-        flags = trace.flags
         n = len(trace)
+        flags_np = trace.flags
+        # Convert the numpy trace columns to plain Python scalars once,
+        # instead of paying an int(np.int64) conversion per instruction.
+        pcs = trace.pcs.tolist()
+        addrs = trace.addrs.tolist()
+        flags = flags_np.tolist()
         warmup_end = int(n * self.warmup_fraction)
+
+        # Positions that need individual handling; everything between two
+        # of them is a run of unit-latency non-memory instructions.
+        slow_indices = np.flatnonzero(
+            (flags_np & (FLAG_LOAD | FLAG_STORE | FLAG_MISPRED)) != 0
+        ).tolist()
+        slow_indices.append(n)  # sentinel: no bounds check in the loop
+        # branch_prefix[i] = branches among the first i instructions.
+        branch_prefix = np.concatenate((
+            np.zeros(1, dtype=np.int64),
+            np.cumsum((flags_np & FLAG_BRANCH) != 0, dtype=np.int64),
+        )).tolist()
 
         epochs: List[EpochTelemetry] = []
         actions: List["CoordinationAction"] = []
         epoch_index = 0
         epoch_start_snapshot = stats.snapshot()
         epoch_start_cycles = 0.0
-        epoch_start_busy = hierarchy.dram.busy_cycles
-        epoch_start_kinds = dict(hierarchy.dram.requests_by_kind)
+        epoch_start_busy = dram.busy_cycles
+        epoch_start_kinds = dram.kind_counts()
 
         warmup_stats_reset_done = warmup_end == 0
         measure_start_cycles = 0.0
 
-        for i in range(n):
-            f = flags[i]
-            if f & FLAG_LOAD:
-                issue = core.begin(dependent_load=bool(f & FLAG_DEP))
-                result = hierarchy.load(int(pcs[i]), int(addrs[i]), issue)
-                core.finish(latency=result.latency, is_load=True)
-                stats.loads += 1
-            elif f & FLAG_STORE:
-                issue = core.begin()
-                latency = hierarchy.store(int(pcs[i]), int(addrs[i]), issue)
-                core.finish(latency=latency)
-                stats.stores += 1
-            elif f & FLAG_BRANCH:
-                mispred = bool(f & FLAG_MISPRED)
-                core.step(latency=1.0, mispredicted_branch=mispred)
-                stats.branches += 1
-                if mispred:
-                    stats.mispredicted_branches += 1
-            else:
-                core.step()
-            stats.instructions += 1
+        hier_load = hierarchy.load
+        hier_store = hierarchy.store
+        core_step = core.step
+        run_simple = core.run_simple
+        # Stable core internals for the inlined begin/finish below (the
+        # mutable scalars are read/written through ``core`` so the state
+        # stays coherent with run_simple/step).
+        ring = core._commit_ring
+        rob = core._rob
+        inv_width = core._inv_width
 
-            if not warmup_stats_reset_done and stats.instructions >= warmup_end:
+        count = stats.instructions  # mirrors stats.instructions
+        have_policy = policy is not None
+        # Next instruction count at which "count % epoch_len == 0" holds
+        # (tracked additively: cheaper than a modulo per instruction).
+        next_epoch = count - count % epoch_len + epoch_len
+        slow_pos = 0
+        i = 0
+        while i < n:
+            next_slow = slow_indices[slow_pos]
+            if next_slow > i:
+                # Bulk-run the simple gap, stopping at the next epoch or
+                # warmup boundary so the per-instruction checks below fire
+                # at exactly the positions the scalar loop checked them.
+                limit = next_slow
+                if have_policy:
+                    boundary = i + next_epoch - count
+                    if boundary < limit:
+                        limit = boundary
+                if not warmup_stats_reset_done:
+                    boundary = i + warmup_end - count
+                    if boundary < limit:
+                        limit = boundary
+                k = limit - i
+                if k == 1:
+                    # Inlined single-step run_simple (1-instruction gaps
+                    # between memory accesses are the common case).
+                    idx = core._index
+                    pos = idx % rob
+                    slot_time = ring[pos]
+                    dispatch = core._next_dispatch
+                    if slot_time > dispatch:
+                        dispatch = slot_time
+                    ready = dispatch + 1.0
+                    commit = core._last_commit + inv_width
+                    if ready > commit:
+                        commit = ready
+                    ring[pos] = commit
+                    core._index = idx + 1
+                    core._last_commit = commit
+                    core._next_dispatch = core._next_dispatch + inv_width
+                else:
+                    run_simple(k)
+                stats.branches += branch_prefix[limit] - branch_prefix[i]
+                count += k
+                i = limit
+            else:
+                f = flags[i]
+                if f & FLAG_LOAD:
+                    # Inlined CoreModel.begin/finish around the load.
+                    idx = core._index
+                    slot_time = ring[idx % rob]
+                    dispatch = core._next_dispatch
+                    if slot_time > dispatch:
+                        dispatch = slot_time
+                    if f & FLAG_DEP:
+                        load_ready = core._last_load_ready
+                        if load_ready > dispatch:
+                            dispatch = load_ready
+                    result = hier_load(pcs[i], addrs[i], dispatch)
+                    ready = dispatch + result.latency
+                    commit = core._last_commit + inv_width
+                    if ready > commit:
+                        commit = ready
+                    ring[idx % rob] = commit
+                    core._index = idx + 1
+                    core._last_commit = commit
+                    core._next_dispatch = core._next_dispatch + inv_width
+                    core._last_load_ready = ready
+                    stats.loads += 1
+                elif f & FLAG_STORE:
+                    idx = core._index
+                    slot_time = ring[idx % rob]
+                    dispatch = core._next_dispatch
+                    if slot_time > dispatch:
+                        dispatch = slot_time
+                    latency = hier_store(pcs[i], addrs[i], dispatch)
+                    ready = dispatch + latency
+                    commit = core._last_commit + inv_width
+                    if ready > commit:
+                        commit = ready
+                    ring[idx % rob] = commit
+                    core._index = idx + 1
+                    core._last_commit = commit
+                    core._next_dispatch = core._next_dispatch + inv_width
+                    stats.stores += 1
+                elif f & FLAG_BRANCH:
+                    mispred = bool(f & FLAG_MISPRED)
+                    core_step(1.0, False, False, mispred)
+                    stats.branches += 1
+                    if mispred:
+                        stats.mispredicted_branches += 1
+                else:
+                    core_step()
+                count += 1
+                i += 1
+                slow_pos += 1
+
+            if not warmup_stats_reset_done and count >= warmup_end:
                 # End of warm-up: caches and predictors stay warm, but the
                 # reported statistics start here (paper §6.1 methodology).
                 measure_start_cycles = core.cycles
-                self._reset_measured_stats(stats)
+                self._reset_measured_stats(stats, hierarchy)
                 warmup_stats_reset_done = True
+                count = stats.instructions
+                next_epoch = 0  # count just reset: 0 % epoch_len == 0 fires
                 epoch_start_snapshot = stats.snapshot()
                 epoch_start_cycles = core.cycles
-                epoch_start_busy = hierarchy.dram.busy_cycles
-                epoch_start_kinds = dict(hierarchy.dram.requests_by_kind)
+                epoch_start_busy = dram.busy_cycles
+                epoch_start_kinds = dram.kind_counts()
 
-            if policy is not None and stats.instructions % epoch_len == 0:
+            if have_policy and count == next_epoch:
+                # ``stats.instructions`` is maintained lazily (local
+                # ``count`` is the live value); sync it where it is read.
+                stats.instructions = count
                 telemetry = self._build_telemetry(
                     epoch_index,
                     stats,
                     epoch_start_snapshot,
                     core.cycles - epoch_start_cycles,
-                    hierarchy.dram.busy_cycles - epoch_start_busy,
+                    dram.busy_cycles - epoch_start_busy,
                     epoch_start_kinds,
                 )
                 action = policy.decide(telemetry)
@@ -153,11 +272,13 @@ class Simulator:
                 epochs.append(telemetry)
                 actions.append(action)
                 epoch_index += 1
+                next_epoch += epoch_len
                 epoch_start_snapshot = stats.snapshot()
                 epoch_start_cycles = core.cycles
-                epoch_start_busy = hierarchy.dram.busy_cycles
-                epoch_start_kinds = dict(hierarchy.dram.requests_by_kind)
+                epoch_start_busy = dram.busy_cycles
+                epoch_start_kinds = dram.kind_counts()
 
+        stats.instructions = count
         measured_cycles = core.cycles - measure_start_cycles
         stats.cycles = measured_cycles
         return SimulationResult(
@@ -172,12 +293,25 @@ class Simulator:
     # ------------------------------------------------------------------ helpers
 
     @staticmethod
-    def _reset_measured_stats(stats: SimStats) -> None:
+    def _reset_measured_stats(
+        stats: SimStats, hierarchy: Optional[CacheHierarchy] = None,
+        include_shared_caches: bool = True,
+    ) -> None:
+        """Zero every measured counter at the warmup boundary.
+
+        Also restarts the per-:class:`~repro.sim.cache.Cache` hit/miss
+        counters (when a ``hierarchy`` is given) so post-warmup
+        ``hit_rate`` reflects the measured region only.
+        """
         preserved_instructions = 0  # measurement restarts from zero
         fresh = SimStats()
-        for name in vars(fresh):
-            setattr(stats, name, getattr(fresh, name))
+        for f in fields(fresh):
+            setattr(stats, f.name, getattr(fresh, f.name))
         stats.instructions = preserved_instructions
+        if hierarchy is not None:
+            hierarchy.reset_cache_hit_counters(
+                include_shared=include_shared_caches
+            )
 
     def _build_telemetry(
         self,
@@ -186,11 +320,16 @@ class Simulator:
         start: SimStats,
         cycles: float,
         busy_cycles: float,
-        start_kinds: dict,
+        start_kinds: Tuple[int, int, int, int],
     ) -> EpochTelemetry:
         delta = stats.delta_from(start)
-        kinds = hierarchy_kind_delta(self.hierarchy, start_kinds)
-        total_dram = max(1, sum(kinds.values()))
+        demand, prefetch, ocp, writeback = (
+            cur - prev
+            for cur, prev in zip(self.hierarchy.dram.kind_counts(),
+                                 start_kinds)
+        )
+        total = demand + prefetch + ocp + writeback
+        total_dram = max(1, total)
         pf_acc = (
             delta.prefetches_useful / delta.prefetches_issued
             if delta.prefetches_issued
@@ -214,23 +353,15 @@ class Simulator:
             ocp_accuracy=min(1.0, ocp_acc),
             bandwidth_usage=min(1.0, busy_cycles / cycles) if cycles else 0.0,
             cache_pollution=min(1.0, delta.pollution_misses / demand_misses),
-            prefetch_bandwidth_share=kinds.get("prefetch", 0) / total_dram,
-            ocp_bandwidth_share=kinds.get("ocp", 0) / total_dram,
-            demand_bandwidth_share=kinds.get("demand", 0) / total_dram,
+            prefetch_bandwidth_share=prefetch / total_dram,
+            ocp_bandwidth_share=ocp / total_dram,
+            demand_bandwidth_share=demand / total_dram,
             prefetches_issued=delta.prefetches_issued,
             ocp_predictions=delta.ocp_predictions,
-            dram_requests=sum(kinds.values()),
+            dram_requests=total,
         )
 
     def _apply_action(self, action: "CoordinationAction") -> None:
         self.hierarchy.set_prefetchers_enabled(action.prefetchers_enabled)
         self.hierarchy.set_ocp_enabled(action.ocp_enabled)
         self.hierarchy.set_degree_fraction(action.degree_fraction)
-
-
-def hierarchy_kind_delta(hierarchy: CacheHierarchy, start_kinds: dict) -> dict:
-    """Per-kind DRAM request counts accumulated since ``start_kinds``."""
-    return {
-        kind: count - start_kinds.get(kind, 0)
-        for kind, count in hierarchy.dram.requests_by_kind.items()
-    }

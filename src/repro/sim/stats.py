@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields
 
 
-@dataclass
+@dataclass(slots=True)
 class SimStats:
     """Cumulative simulation counters (exact, not Bloom-approximated)."""
 

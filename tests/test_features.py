@@ -153,3 +153,28 @@ class TestStateQuantizer:
         q = StateQuantizer(("bandwidth_usage",), bins=8)
         for shift in (0.0, 0.01, 0.1):
             assert 0 <= q.quantize_value(value, shift) < 8
+
+
+class TestInlinedBloomProbe:
+    """Pin FeatureTracker.on_demand_load's inlined Bloom probe to the
+    filter's own query(): the two must never diverge."""
+
+    def test_on_demand_load_matches_filter_query(self):
+        import random
+
+        from repro.core.features import FeatureTracker
+
+        rng = random.Random(7)
+        tracker = FeatureTracker()
+        reference = FeatureTracker()
+        lines = [rng.randrange(1 << 40) for _ in range(400)]
+        for line in lines[::3]:
+            tracker.on_prefetch_issued(line)
+            reference.on_prefetch_issued(line)
+        expected_hits = sum(
+            1 for line in lines
+            if reference._accuracy_filter.query(line)
+        )
+        for line in lines:
+            tracker.on_demand_load(0x400, line, False)
+        assert tracker._prefetch_hits == expected_hits
