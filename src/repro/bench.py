@@ -1,13 +1,25 @@
 """Simulation-throughput benchmark harness (``repro bench``).
 
-Measures *simulated instructions per second* — the single number every
-figure regeneration is bound by on a cold store — for a small matrix of
-(workload x policy) cells on the paper's default CD1 design, and writes
-the measurements to ``BENCH_sim_throughput.json``.
+Measures the throughput of the three stages every figure regeneration is
+bound by on a cold store, in three phases (``--phase``):
 
-Three kinds of numbers live in the output:
+* ``sim`` — *simulated instructions per second* for a small matrix of
+  single-core (workload x policy) cells on the paper's default CD1
+  design;
+* ``traces`` — *trace-build* throughput (instructions emitted per
+  second) per generator family, measured for both the vectorized
+  kernels and the original scalar loops (``scalar_generators()``) in
+  the same process, so ``speedup_vs_scalar`` is a live apples-to-apples
+  number on this machine;
+* ``multicore`` — aggregate simulated instructions per second for
+  shared-LLC/DRAM mixes through :class:`~repro.sim.multicore.
+  MultiCoreSimulator` (traces prebuilt, so the cell isolates the
+  multi-core event loop).
 
-* per-cell ``ips`` — raw simulated instructions/second on this machine;
+Everything is written to ``BENCH_sim_throughput.json``.  Three kinds of
+numbers live in the output:
+
+* per-cell ``ips`` — raw instructions/second on this machine;
 * ``ips_per_mop`` — the same normalized by a pure-Python calibration
   score (million calibration ops/second), so measurements taken on
   machines of different speeds are comparable;
@@ -16,8 +28,9 @@ Three kinds of numbers live in the output:
   geomean speedup of the current core against them.
 
 ``repro bench --check BASELINE`` additionally compares the normalized
-geomean against a checked-in baseline file and exits non-zero if it
-regressed by more than ``--tolerance`` (CI's ``bench-smoke`` job).
+single-core geomean against a checked-in baseline file and exits
+non-zero if it regressed by more than ``--tolerance`` (CI's
+``bench-smoke`` job).
 """
 
 from __future__ import annotations
@@ -27,9 +40,11 @@ import math
 import pathlib
 import platform
 import time
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-BENCH_SCHEMA = 1
+BENCH_SCHEMA = 2
+
+PHASES = ("sim", "traces", "multicore")
 
 #: Default benchmark matrix: one streaming, one pointer-chasing, one
 #: graph workload — the memory behaviours that stress different parts of
@@ -41,6 +56,25 @@ DEFAULT_WORKLOADS = (
     "ligra.BFS.0",                # graph: irregular + bursty
 )
 DEFAULT_POLICIES = ("none", "athena")
+
+#: Trace-build phase: every generator family; the acceptance families
+#: (streaming/stencil/gups) first so ``--quick`` keeps them.
+TRACE_FAMILIES = (
+    "streaming", "stencil", "gups", "pointer_chase", "hash_probe",
+    "graph", "compute", "phased", "datacenter",
+)
+TRACE_LENGTH = 100_000
+TRACE_SEED = 1234
+
+#: Multicore phase: shared-LLC/DRAM mixes at two and four cores,
+#: uncoordinated and TLP-coordinated.
+DEFAULT_MIXES = (
+    (("spec06.libquantum_like.0", "spec06.mcf_like.0"), "none"),
+    (("spec06.libquantum_like.0", "spec06.mcf_like.0",
+      "ligra.BFS.0", "spec06.xalancbmk_like.0"), "none"),
+    (("spec06.libquantum_like.0", "spec06.mcf_like.0",
+      "ligra.BFS.0", "spec06.xalancbmk_like.0"), "tlp"),
+)
 
 #: Checked-in pre-optimization measurements (recorded on the machine that
 #: landed the SoA core), used as the before/after reference in reports.
@@ -119,6 +153,86 @@ def measure_cell(
     }
 
 
+def measure_trace_cell(family: str, trace_length: int, repeats: int) -> dict:
+    """Time cold trace builds of one generator family, vectorized and
+    scalar (the pre-rewrite reference loops) in the same process.
+
+    Calls the generator directly — the trace cache is not involved, so
+    this is genuine build throughput.
+    """
+    from repro.workloads.generators import GENERATORS, scalar_generators
+
+    make = GENERATORS[family]
+    make("bench", "bench", TRACE_SEED, 2_000)  # warm module paths
+    best = math.inf
+    scalar_best = math.inf
+    # Interleave the two implementations so transient machine noise hits
+    # both sides of the speedup ratio alike.
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        make("bench", "bench", TRACE_SEED, trace_length)
+        best = min(best, time.perf_counter() - t0)
+        with scalar_generators():
+            t0 = time.perf_counter()
+            make("bench", "bench", TRACE_SEED, trace_length)
+            scalar_best = min(scalar_best, time.perf_counter() - t0)
+    return {
+        "family": family,
+        "trace_length": trace_length,
+        "seconds": best,
+        "ips": trace_length / best,
+        "scalar_seconds": scalar_best,
+        "scalar_ips": trace_length / scalar_best,
+        "speedup_vs_scalar": scalar_best / best,
+    }
+
+
+def measure_multicore_cell(
+    workloads: Tuple[str, ...],
+    policy: str,
+    design_name: str,
+    trace_length: int,
+    epoch_length: int,
+    repeats: int,
+) -> dict:
+    """Time cold multi-core runs of one (mix, policy) cell.
+
+    Traces are prebuilt (through the trace cache) before the timer
+    starts, so the cell isolates the multi-core event loop + shared
+    LLC/DRAM machinery.  ``ips`` aggregates over all cores.
+    """
+    from repro.engine.jobs import MixRequest
+    from repro.experiments.configs import CacheDesign
+    from repro.workloads.suites import build_trace, find_workload
+
+    specs = tuple(find_workload(name) for name in workloads)
+    for spec in specs:
+        build_trace(spec, trace_length)
+    request = MixRequest(
+        workloads=specs,
+        trace_length=trace_length,
+        design=getattr(CacheDesign, design_name)(),
+        policy_name=policy,
+        epoch_length=epoch_length,
+        warmup_fraction=0.2,
+    )
+    best = math.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        request.execute()
+        best = min(best, time.perf_counter() - t0)
+    total = trace_length * len(specs)
+    return {
+        "workloads": list(workloads),
+        "policy": policy,
+        "design": design_name,
+        "cores": len(specs),
+        "trace_length": trace_length,
+        "seconds": best,
+        "ips": total / best,
+    }
+
+
 def geomean(values: List[float]) -> float:
     if not values:
         return 0.0
@@ -133,38 +247,87 @@ def run_bench(
     epoch_length: int = 600,
     repeats: int = 3,
     quick: bool = False,
+    phases: Sequence[str] = PHASES,
     reference_path: Optional[pathlib.Path] = SEED_BASELINE_PATH,
     progress=None,
 ) -> dict:
     """Run the benchmark matrix; returns the JSON-able report."""
+    unknown = [p for p in phases if p not in PHASES]
+    if unknown:
+        raise KeyError(f"unknown bench phases {unknown}; valid: {PHASES}")
+    trace_families = TRACE_FAMILIES
+    trace_build_length = TRACE_LENGTH
+    mixes = DEFAULT_MIXES
     if quick:
         workloads = workloads[:2]
         trace_length = min(trace_length, 12_000)
         epoch_length = min(epoch_length, 300)
         repeats = 1
+        trace_families = TRACE_FAMILIES[:3]
+        trace_build_length = 24_000
+        mixes = DEFAULT_MIXES[:1]
 
     calibration = _calibrate(1 if quick else 3)
-    cells = []
-    for workload in workloads:
-        for policy in policies:
-            if progress is not None:
-                progress(workload, policy)
-            cell = measure_cell(workload, policy, design,
-                                trace_length, epoch_length, repeats)
-            cell["ips_per_mop"] = cell["ips"] / calibration
-            cells.append(cell)
-
     report = {
         "schema": BENCH_SCHEMA,
         "unit": "simulated instructions per second (cold Simulator.run)",
         "quick": quick,
+        "phases": list(phases),
         "python": platform.python_version(),
         "machine": platform.machine(),
         "calibration_mops": calibration,
-        "cells": cells,
-        "geomean_ips": geomean([c["ips"] for c in cells]),
-        "geomean_ips_per_mop": geomean([c["ips_per_mop"] for c in cells]),
     }
+
+    cells = []
+    if "sim" in phases:
+        for workload in workloads:
+            for policy in policies:
+                if progress is not None:
+                    progress(workload, policy)
+                cell = measure_cell(workload, policy, design,
+                                    trace_length, epoch_length, repeats)
+                cell["ips_per_mop"] = cell["ips"] / calibration
+                cells.append(cell)
+        report["cells"] = cells
+        report["geomean_ips"] = geomean([c["ips"] for c in cells])
+        report["geomean_ips_per_mop"] = geomean(
+            [c["ips_per_mop"] for c in cells]
+        )
+
+    if "traces" in phases:
+        trace_cells = []
+        for family in trace_families:
+            if progress is not None:
+                progress("trace-build", family)
+            cell = measure_trace_cell(
+                family, trace_build_length, max(repeats, 5)
+            )
+            cell["ips_per_mop"] = cell["ips"] / calibration
+            trace_cells.append(cell)
+        report["trace_cells"] = trace_cells
+        report["geomean_trace_build_speedup"] = geomean(
+            [c["speedup_vs_scalar"] for c in trace_cells]
+        )
+        # The fully-vectorizable regular families (deterministic access
+        # skeleton; the RNG stream is pure filler), reported separately
+        # from the irregular families whose decode is chain-bound.
+        regular = [c["speedup_vs_scalar"] for c in trace_cells
+                   if c["family"] in TRACE_FAMILIES[:3]]
+        if regular:
+            report["geomean_trace_build_speedup_regular"] = geomean(regular)
+
+    if "multicore" in phases:
+        multicore_cells = []
+        for mix_workloads, policy in mixes:
+            if progress is not None:
+                progress(f"multicore x{len(mix_workloads)}", policy)
+            cell = measure_multicore_cell(
+                mix_workloads, policy, design,
+                trace_length, epoch_length, repeats,
+            )
+            cell["ips_per_mop"] = cell["ips"] / calibration
+            multicore_cells.append(cell)
+        report["multicore_cells"] = multicore_cells
 
     if reference_path is not None and pathlib.Path(reference_path).exists():
         reference = json.loads(pathlib.Path(reference_path).read_text())
@@ -188,6 +351,15 @@ def run_bench(
                 speedups.append(cell["speedup_vs_reference"])
         if speedups:
             report["geomean_speedup_vs_reference"] = geomean(speedups)
+        ref_mc = {
+            (tuple(c["workloads"]), c["policy"]): c
+            for c in reference.get("multicore_cells", ())
+        }
+        for cell in report.get("multicore_cells", ()):
+            ref = ref_mc.get((tuple(cell["workloads"]), cell["policy"]))
+            if (ref and ref.get("ips")
+                    and ref.get("trace_length") == cell["trace_length"]):
+                cell["speedup_vs_reference"] = cell["ips"] / ref["ips"]
     return report
 
 
@@ -203,6 +375,9 @@ def check_regression(report: dict, baseline_path: pathlib.Path,
     base_score = baseline.get("geomean_ips_per_mop")
     if not base_score:
         return False, f"baseline {baseline_path} has no geomean_ips_per_mop"
+    if "geomean_ips_per_mop" not in report:
+        return False, "report has no single-core cells (ran without " \
+                      "--phase sim?); nothing to check"
     # Refuse apples-to-oranges comparisons: the normalized geomean is only
     # meaningful against a baseline measured over the same cell matrix.
     def _matrix(rep):
@@ -227,26 +402,59 @@ def check_regression(report: dict, baseline_path: pathlib.Path,
 
 
 def format_report(report: dict) -> str:
-    """Human-readable table for the CLI."""
+    """Human-readable tables for the CLI, one per measured phase."""
     lines = []
-    lines.append(
-        f"{'workload':32s} {'policy':8s} {'ips':>12s} "
-        f"{'norm':>10s} {'vs seed':>8s}"
-    )
-    for cell in report["cells"]:
-        speedup = cell.get("speedup_vs_reference")
+    if "cells" in report:
         lines.append(
-            f"{cell['workload']:32s} {cell['policy']:8s} "
-            f"{cell['ips']:>12,.0f} {cell['ips_per_mop']:>10,.1f} "
-            f"{speedup and f'{speedup:.2f}x' or '-':>8s}"
+            f"{'workload':32s} {'policy':8s} {'ips':>12s} "
+            f"{'norm':>10s} {'vs seed':>8s}"
         )
-    lines.append(
-        f"{'geomean':32s} {'':8s} {report['geomean_ips']:>12,.0f} "
-        f"{report['geomean_ips_per_mop']:>10,.1f} "
-        + (
-            f"{report['geomean_speedup_vs_reference']:>7.2f}x"
-            if "geomean_speedup_vs_reference" in report else f"{'-':>8s}"
+        for cell in report["cells"]:
+            speedup = cell.get("speedup_vs_reference")
+            lines.append(
+                f"{cell['workload']:32s} {cell['policy']:8s} "
+                f"{cell['ips']:>12,.0f} {cell['ips_per_mop']:>10,.1f} "
+                f"{speedup and f'{speedup:.2f}x' or '-':>8s}"
+            )
+        lines.append(
+            f"{'geomean':32s} {'':8s} {report['geomean_ips']:>12,.0f} "
+            f"{report['geomean_ips_per_mop']:>10,.1f} "
+            + (
+                f"{report['geomean_speedup_vs_reference']:>7.2f}x"
+                if "geomean_speedup_vs_reference" in report else f"{'-':>8s}"
+            )
         )
-    )
+    if "trace_cells" in report:
+        if lines:
+            lines.append("")
+        lines.append(
+            f"{'trace build':32s} {'length':>8s} {'ips':>12s} "
+            f"{'norm':>10s} {'vs scalar':>9s}"
+        )
+        for cell in report["trace_cells"]:
+            lines.append(
+                f"{cell['family']:32s} {cell['trace_length']:>8d} "
+                f"{cell['ips']:>12,.0f} {cell['ips_per_mop']:>10,.1f} "
+                f"{cell['speedup_vs_scalar']:>8.2f}x"
+            )
+        lines.append(
+            f"{'geomean build speedup':32s} {'':8s} {'':12s} {'':10s} "
+            f"{report['geomean_trace_build_speedup']:>8.2f}x"
+        )
+    if "multicore_cells" in report:
+        if lines:
+            lines.append("")
+        lines.append(
+            f"{'multicore mix':32s} {'policy':8s} {'ips':>12s} "
+            f"{'norm':>10s} {'vs seed':>8s}"
+        )
+        for cell in report["multicore_cells"]:
+            label = f"{cell['cores']}-core mix"
+            speedup = cell.get("speedup_vs_reference")
+            lines.append(
+                f"{label:32s} {cell['policy']:8s} "
+                f"{cell['ips']:>12,.0f} {cell['ips_per_mop']:>10,.1f} "
+                f"{speedup and f'{speedup:.2f}x' or '-':>8s}"
+            )
     lines.append(f"calibration: {report['calibration_mops']:.1f} Mops/s")
     return "\n".join(lines)

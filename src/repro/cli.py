@@ -92,6 +92,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--quick", action="store_true",
                        help="smaller matrix and single repeat (CI smoke)")
+    bench.add_argument("--phase", default="all", metavar="PHASES",
+                       help="comma-separated subset of sim,traces,multicore "
+                            "(default: all)")
     bench.add_argument("--output", default="BENCH_sim_throughput.json",
                        metavar="PATH", help="report path (default: "
                        "BENCH_sim_throughput.json)")
@@ -364,6 +367,11 @@ def _cmd_bench(args) -> int:
     if args.policies:
         kwargs["policies"] = tuple(
             p.strip() for p in args.policies.split(",") if p.strip()
+        )
+
+    if args.phase and args.phase != "all":
+        kwargs["phases"] = tuple(
+            p.strip() for p in args.phase.split(",") if p.strip()
         )
 
     def progress(workload: str, policy: str) -> None:

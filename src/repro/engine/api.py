@@ -22,18 +22,26 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from .jobs import Request, Result, decode_result, encode_result
-from .pool import ProgressFn, SimulationPool
+from .jobs import Request, Result, decode_result
+from .pool import ProgressFn, SimulationPool, _execute_request
 from .store import ResultStore, StoreDecodeError
 
 
 @dataclass
 class EngineCounters:
-    """Hit/miss accounting for one engine lifetime."""
+    """Hit/miss accounting for one engine lifetime.
+
+    ``trace_hits``/``trace_builds`` aggregate the compiled-trace cache
+    activity of every executed simulation — including pool workers,
+    whose per-request deltas ride back on the result payload — so a
+    warm engine run can be *verified* to have regenerated no traces.
+    """
 
     memo_hits: int = 0
     store_hits: int = 0
     executed: int = 0
+    trace_hits: int = 0
+    trace_builds: int = 0
 
     @property
     def total(self) -> int:
@@ -42,7 +50,9 @@ class EngineCounters:
     def summary(self) -> str:
         return (
             f"engine: {self.executed} simulations executed, "
-            f"{self.store_hits} store hits, {self.memo_hits} memo hits"
+            f"{self.store_hits} store hits, {self.memo_hits} memo hits; "
+            f"trace cache: {self.trace_hits} hits, "
+            f"{self.trace_builds} builds"
         )
 
 
@@ -96,6 +106,10 @@ class Engine:
         return None
 
     def _record(self, key: str, payload: dict) -> Result:
+        trace_delta = payload.pop("_trace_cache", None)
+        if trace_delta is not None:
+            self.counters.trace_hits += trace_delta.get("hits", 0)
+            self.counters.trace_builds += trace_delta.get("builds", 0)
         result = decode_result(payload)
         if self.store is not None:
             self.store.put(key, payload)
@@ -111,7 +125,7 @@ class Engine:
         cached = self._lookup(key)
         if cached is not None:
             return cached
-        return self._record(key, encode_result(request.execute()))
+        return self._record(key, _execute_request(request))
 
     def run_many(
         self,
@@ -138,7 +152,7 @@ class Engine:
                     self._record(key, payload)
             else:
                 for done, (key, request) in enumerate(pairs, start=1):
-                    self._record(key, encode_result(request.execute()))
+                    self._record(key, _execute_request(request))
                     if progress is not None:
                         progress(done, len(pairs), key)
         return [self._memo[key] for key, _ in keyed]

@@ -24,8 +24,22 @@ ProgressFn = Callable[[int, int, str], None]
 
 
 def _execute_request(request: Request) -> dict:
-    """Worker entry point: run the simulation, return its payload."""
-    return encode_result(request.execute())
+    """Worker entry point: run the simulation, return its payload.
+
+    The worker's compiled-trace-cache delta rides back on the payload
+    under ``_trace_cache`` (stripped by the engine before the payload is
+    stored or decoded) so parent-side counters see worker cache hits.
+    """
+    from ..workloads.tracecache import trace_cache
+
+    stats = trace_cache().stats
+    hits0, disk0, builds0 = stats.hits, stats.disk_hits, stats.builds
+    payload = encode_result(request.execute())
+    payload["_trace_cache"] = {
+        "hits": stats.hits + stats.disk_hits - hits0 - disk0,
+        "builds": stats.builds - builds0,
+    }
+    return payload
 
 
 class SimulationPool:

@@ -7,19 +7,37 @@ channel.  Each core also runs its *own* coordination-policy instance
 (Athena is per-core hardware), using the single-core-tuned configuration
 unaltered — exactly the paper's §7.4 setup.
 
-Cores are interleaved in time order: at every step the core with the
-smallest local clock executes its next instruction, so DRAM and LLC see an
-(approximately) time-ordered request stream and bandwidth contention
-behaves like a shared channel.
+Cores are interleaved in time order.  The reference semantics are the
+seed implementation's per-instruction heap: at every step the core with
+the smallest ``(clock, core_id)`` executes its next instruction, so DRAM
+and LLC see an (approximately) time-ordered request stream and bandwidth
+contention behaves like a shared channel.
+
+The run loop reproduces that schedule at *event* granularity.  Only
+instructions that touch shared state or sample it — loads/stores (LLC +
+DRAM) and the epoch-boundary/warmup-reset transitions (which read shared
+DRAM telemetry) — need global ordering; everything between two events of
+one core is private (nops, predicted branches, mispredicted branches),
+touches nothing shared, and is bulk-stepped through
+:meth:`~repro.sim.cpu.CoreModel.run_simple` with branch counts taken from
+a prefix sum.  Each core advances privately to just before its next
+event; the heap then orders events by the same ``(clock before the event
+instruction, core_id)`` key the per-instruction loop would have used, so
+shared-state mutations happen in the identical order and the results are
+bit-identical (pinned by the multicore golden cases in
+``tests/golden/``).
 """
 
 from __future__ import annotations
 
 import heapq
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from typing import TYPE_CHECKING
+
+import numpy as np
 
 if TYPE_CHECKING:  # avoid a sim <-> policies import cycle
     from ..policies.base import CoordinationPolicy
@@ -70,8 +88,12 @@ class MultiCoreResult:
         return product ** (1.0 / len(self.cores))
 
 
+#: sentinel index no run ever reaches (schedules nothing)
+_NEVER = 1 << 62
+
+
 class _CoreContext:
-    """Execution state of one core inside the multi-core loop."""
+    """Execution state of one core inside the multi-core event loop."""
 
     def __init__(
         self,
@@ -87,16 +109,70 @@ class _CoreContext:
         self.policy = policy
         self.epoch_length = epoch_length
         self.core = CoreModel(hierarchy.params.core)
-        self.index = 0
         self.retired = 0
         self.warmup_instructions = 0
         self.measure_start_cycles = 0.0
         self._warmed = False
         # Plain-scalar trace columns, converted once (no per-instruction
-        # int(np.int64) conversions in step()).
+        # int(np.int64) conversions on the event path).
         self._pcs = trace.pcs.tolist()
         self._addrs = trace.addrs.tolist()
         self._flags = trace.flags.tolist()
+        self._period = len(self._flags)
+        flags_np = trace.flags
+        mem_np = np.flatnonzero((flags_np & (FLAG_LOAD | FLAG_STORE)) != 0)
+        #: trace positions that touch the shared LLC/DRAM (global events)
+        self._mem_pos = mem_np.tolist()
+        #: non-memory positions needing an individual step (private)
+        self._mispred_pos = np.flatnonzero(
+            ((flags_np & FLAG_MISPRED) != 0)
+            & ((flags_np & (FLAG_LOAD | FLAG_STORE)) == 0)
+        ).tolist()
+        branch_prefix = np.concatenate((
+            np.zeros(1, dtype=np.int64),
+            np.cumsum((flags_np & FLAG_BRANCH) != 0, dtype=np.int64),
+        ))
+        #: branch_prefix[i] = branches among the first i trace positions
+        self._branch_prefix = branch_prefix.tolist()
+        # Per-gap aggregates: for the run of private instructions between
+        # consecutive memory positions (wrapping the replay boundary),
+        # its length, branch count, and whether it needs the generic
+        # mispredicted-branch path.  Indexed by the *leading* memory
+        # position's index in ``_mem_pos``.
+        period = self._period
+        if len(mem_np):
+            nxt = np.roll(mem_np, -1)
+            nxt[-1] += period
+            self._gap_len = (nxt - mem_np - 1).tolist()
+            cut = np.minimum(nxt, period)
+            gap_branches = branch_prefix[cut] - branch_prefix[mem_np + 1]
+            mis_prefix = np.concatenate((
+                np.zeros(1, dtype=np.int64),
+                np.cumsum(
+                    ((flags_np & FLAG_MISPRED) != 0)
+                    & ((flags_np & (FLAG_LOAD | FLAG_STORE)) == 0),
+                    dtype=np.int64,
+                ),
+            ))
+            gap_mispreds = mis_prefix[cut] - mis_prefix[mem_np + 1]
+            if nxt[-1] > period:  # last gap wraps into the next replay
+                wrap = int(nxt[-1] - period)
+                gap_branches[-1] += int(branch_prefix[wrap])
+                gap_mispreds[-1] += int(mis_prefix[wrap])
+            self._gap_branches = gap_branches.tolist()
+            self._gap_clean = (gap_mispreds == 0).tolist()
+        else:
+            self._gap_len = []
+            self._gap_branches = []
+            self._gap_clean = []
+        #: schedule state: global index of the next memory event, the
+        #: index into ``_mem_pos`` it corresponds to, and its replay base
+        self._mem_next = int(mem_np[0]) if len(mem_np) else _NEVER
+        self._mem_ptr = 0
+        self._mem_base = 0
+        #: global indices of the next epoch-/warmup-transition instruction
+        self._next_epoch = epoch_length - 1 if policy is not None else _NEVER
+        self._warm_idx = _NEVER  # set by MultiCoreSimulator
         self._epoch_snapshot = hierarchy.stats.snapshot()
         self._epoch_cycles = 0.0
         self._epoch_busy = hierarchy.dram.busy_cycles
@@ -105,12 +181,68 @@ class _CoreContext:
         if policy is not None:
             policy.attach(hierarchy)
 
-    def done(self, limit: int) -> bool:
-        return self.retired >= limit
+    # -- event schedule -----------------------------------------------------
 
-    def step(self) -> None:
-        """Execute one instruction (replaying the trace as needed)."""
-        i = self.index % len(self._flags)
+    def _advance_mem_ptr(self) -> None:
+        """Consume the pending memory event from the schedule."""
+        ptr = self._mem_ptr + 1
+        if ptr == len(self._mem_pos):
+            ptr = 0
+            self._mem_base += self._period
+        self._mem_ptr = ptr
+        self._mem_next = self._mem_base + self._mem_pos[ptr]
+
+    def next_event(self, limit: int) -> int:
+        """Smallest global index >= ``retired`` whose instruction must be
+        globally ordered (memory access, epoch boundary, or warmup end);
+        ``limit`` when the core finishes first."""
+        nxt = self._mem_next
+        if self._next_epoch < nxt:
+            nxt = self._next_epoch
+        if self._warm_idx < nxt:
+            nxt = self._warm_idx
+        return nxt if nxt < limit else limit
+
+    def advance_private(self, start: int, stop: int) -> None:
+        """Bulk-execute global positions ``[start, stop)`` — guaranteed
+        free of events: runs of unit-latency instructions stepped through
+        ``run_simple``, mispredicted branches stepped individually."""
+        if stop <= start:
+            return
+        period = self._period
+        stats = self.hierarchy.stats
+        core = self.core
+        run_simple = core.run_simple
+        step = core.step
+        prefix = self._branch_prefix
+        mispreds = self._mispred_pos
+        g = start
+        while g < stop:
+            i = g % period
+            j = min(i + (stop - g), period)
+            stats.branches += prefix[j] - prefix[i]
+            pos = i
+            for m in mispreds[bisect_left(mispreds, i):
+                              bisect_left(mispreds, j)]:
+                if m > pos:
+                    run_simple(m - pos)
+                step(1.0, False, False, True)
+                stats.mispredicted_branches += 1
+                pos = m + 1
+            if j > pos:
+                run_simple(j - pos)
+            g += j - i
+        stats.instructions += stop - start
+        self.retired = stop
+
+    def execute_event(self) -> None:
+        """Execute the single instruction at ``retired`` (the pending
+        event) plus any epoch/warmup transition it triggers — exactly the
+        per-instruction reference semantics.  This is the generic path;
+        the run loop inlines the common case (a memory access away from
+        any transition boundary)."""
+        event_index = self.retired
+        i = event_index % self._period
         f = self._flags[i]
         hierarchy = self.hierarchy
         core = self.core
@@ -120,11 +252,13 @@ class _CoreContext:
             result = hierarchy.load(self._pcs[i], self._addrs[i], issue)
             core.finish(result.latency, True)
             stats.loads += 1
+            self._advance_mem_ptr()
         elif f & FLAG_STORE:
             issue = core.begin()
             latency = hierarchy.store(self._pcs[i], self._addrs[i], issue)
             core.finish(latency)
             stats.stores += 1
+            self._advance_mem_ptr()
         elif f & FLAG_BRANCH:
             mispred = bool(f & FLAG_MISPRED)
             core.step(1.0, False, False, mispred)
@@ -134,9 +268,9 @@ class _CoreContext:
         else:
             core.step()
         stats.instructions += 1
-        self.index += 1
         self.retired += 1
-        if not self._warmed and self.retired >= self.warmup_instructions:
+        if event_index == self._warm_idx:
+            self._warm_idx = _NEVER
             # End of this core's warm-up: caches and predictors stay warm,
             # measured statistics restart (paper §6.1 methodology).  Only
             # the private caches' hit counters reset — the shared LLC is
@@ -150,7 +284,8 @@ class _CoreContext:
             self._epoch_cycles = core.cycles
             self._epoch_busy = hierarchy.dram.busy_cycles
             self._epoch_kinds = hierarchy.dram.kind_counts()
-        if self.policy is not None and self.retired % self.epoch_length == 0:
+        if event_index == self._next_epoch:
+            self._next_epoch += self.epoch_length
             self._end_epoch()
 
     def _end_epoch(self) -> None:
@@ -217,20 +352,84 @@ class MultiCoreSimulator:
                 instructions_per_core * warmup_fraction
             )
             context._warmed = context.warmup_instructions == 0
+            context._warm_idx = (
+                _NEVER if context._warmed
+                else context.warmup_instructions - 1
+            )
             self.contexts.append(context)
 
     def run(self) -> MultiCoreResult:
         limit = self.instructions_per_core
-        heap = [(0.0, ctx.core_id) for ctx in self.contexts]
+        contexts = self.contexts
+        heap = []
+        for ctx in contexts:
+            event = ctx.next_event(limit)
+            ctx.advance_private(0, event)
+            if event < limit:
+                # key = clock before the event instruction: identical to
+                # the per-instruction heap's key when it pops this
+                # instruction, so events order the same way.
+                heap.append((ctx.core.cycles, ctx.core_id))
         heapq.heapify(heap)
+        heappush = heapq.heappush
+        heappop = heapq.heappop
         while heap:
-            _, core_id = heapq.heappop(heap)
-            ctx = self.contexts[core_id]
-            if ctx.done(limit):
-                continue
-            ctx.step()
-            if not ctx.done(limit):
-                heapq.heappush(heap, (ctx.core.cycles, core_id))
+            key = heappop(heap)
+            while True:
+                ctx = contexts[key[1]]
+                r = ctx.retired
+                if r == ctx._mem_next and r < ctx._next_epoch \
+                        and r < ctx._warm_idx:
+                    # Fast path: a memory access away from any transition
+                    # boundary, followed by its precomputed private gap.
+                    core = ctx.core
+                    hierarchy = ctx.hierarchy
+                    stats = hierarchy.stats
+                    ptr = ctx._mem_ptr
+                    i = ctx._mem_pos[ptr]
+                    f = ctx._flags[i]
+                    if f & FLAG_LOAD:
+                        issue = core.begin((f & FLAG_DEP) != 0)
+                        result = hierarchy.load(
+                            ctx._pcs[i], ctx._addrs[i], issue
+                        )
+                        core.finish(result.latency, True)
+                        stats.loads += 1
+                    else:
+                        issue = core.begin()
+                        latency = hierarchy.store(
+                            ctx._pcs[i], ctx._addrs[i], issue
+                        )
+                        core.finish(latency)
+                        stats.stores += 1
+                    r += 1
+                    ctx._advance_mem_ptr()
+                    gap = ctx._gap_len[ptr]
+                    end = r + gap
+                    if gap and ctx._gap_clean[ptr] and end <= limit \
+                            and end <= ctx._next_epoch \
+                            and end <= ctx._warm_idx:
+                        core.run_simple(gap)
+                        stats.branches += ctx._gap_branches[ptr]
+                        stats.instructions += gap + 1
+                        ctx.retired = end
+                    else:
+                        stats.instructions += 1
+                        ctx.retired = r
+                        ctx.advance_private(r, ctx.next_event(limit))
+                else:
+                    # Generic path: epoch/warmup transitions, or a gap
+                    # holding a mispredicted branch.
+                    ctx.execute_event()
+                    ctx.advance_private(ctx.retired, ctx.next_event(limit))
+                if ctx.retired >= limit:
+                    break
+                key = (ctx.core.cycles, key[1])
+                if heap and key > heap[0]:
+                    heappush(heap, key)
+                    break
+                # this core still holds the minimum event key: continue
+                # with it without touching the heap
         result = MultiCoreResult()
         for ctx in self.contexts:
             measured_cycles = ctx.core.cycles - ctx.measure_start_cycles

@@ -15,8 +15,12 @@ from .suites import (
     workloads_by_suite,
 )
 from .trace import Trace, TraceBuilder
+from .tracecache import TraceCache, reset_trace_cache, trace_cache
 
 __all__ = [
+    "TraceCache",
+    "reset_trace_cache",
+    "trace_cache",
     "GOOGLE_CATEGORIES",
     "ReproScale",
     "SCALES",

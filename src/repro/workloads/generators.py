@@ -14,17 +14,83 @@ workloads that land in the paper's two behavioural classes:
 
 All generators draw from a caller-provided ``random.Random`` so workloads
 are fully deterministic given their registry seed.
+
+Two implementations coexist for every pattern family:
+
+* the original one-instruction-at-a-time **scalar** loops
+  (``_scalar_emit_*``) — the behavioural reference, also used to finish
+  the last partial round of a trace; and
+* **vectorized** numpy kernels (``_vec_emit_*``) that decode the same
+  Mersenne-Twister word stream in bulk (:mod:`repro.workloads.rng`,
+  :mod:`repro.workloads.vectorize`) and emit instruction blocks with
+  precomputed stride/permutation/hash-chain index arrays.
+
+Both produce *byte-identical* ``pcs``/``addrs``/``flags`` arrays — pinned
+by the golden trace-equivalence suite (``tests/test_trace_equivalence``).
+The public ``emit_*`` functions dispatch to the vectorized kernels, or to
+the scalar loops under :func:`scalar_generators` /
+``REPRO_SCALAR_GENERATORS=1`` (the benchmark's before/after reference).
 """
 
 from __future__ import annotations
 
+import os
 import random
+from contextlib import contextmanager
 from typing import Callable, Dict
 
-from .trace import LINE_SHIFT, Trace, TraceBuilder
+import numpy as np
+
+from .rng import BulkRandom
+from .trace import (
+    FLAG_BRANCH,
+    FLAG_DEP,
+    FLAG_LOAD,
+    FLAG_MISPRED,
+    FLAG_STORE,
+    LINE_SHIFT,
+    Trace,
+    TraceBuilder,
+)
+from .vectorize import (
+    WordWindow,
+    ithreshold,
+    bulk_filler,
+    clamped_step,
+    compose_jump,
+    filler_at,
+    filler_jump,
+    filler_run_offsets,
+    randrange_tables,
+)
 
 #: distinct PC regions per pattern so PC-indexed predictors can separate them
 _PC_STRIDE = 0x40
+
+#: below this many instructions the vectorized decode setup costs more
+#: than it saves; both paths are byte-identical, so this is pure tuning.
+_VEC_MIN = 512
+
+#: module switch for the scalar reference implementations (see
+#: :func:`scalar_generators`); the env var pins it for a whole process.
+_use_scalar = bool(os.environ.get("REPRO_SCALAR_GENERATORS"))
+
+
+@contextmanager
+def scalar_generators():
+    """Force the scalar reference emitters inside the ``with`` block.
+
+    Used by ``repro bench --phase traces`` to measure the vectorized
+    kernels against the original loops in one process, and handy when
+    bisecting a suspected generator divergence.
+    """
+    global _use_scalar
+    previous = _use_scalar
+    _use_scalar = True
+    try:
+        yield
+    finally:
+        _use_scalar = previous
 
 
 def _pc(block: int, slot: int = 0) -> int:
@@ -52,48 +118,30 @@ def _filler(
             builder.nop(_pc(pc_block, 8))
 
 
+def _emit_filler(builder, rng, count, pc_block, mispredict_rate) -> None:
+    """Filler block, bulk when large enough to be worth decoding."""
+    if _use_scalar or count < _VEC_MIN:
+        _filler(builder, rng, count, pc_block, mispredict_rate)
+        return
+    br = BulkRandom(rng)
+    builder.extend(*bulk_filler(br, count, pc_block, mispredict_rate))
+    br.sync()
+
+
 # --------------------------------------------------------------------------
-# pattern emitters
+# scalar reference emitters (also finish each vectorized trace's tail)
 # --------------------------------------------------------------------------
 
-def emit_stream(
-    builder: TraceBuilder,
-    rng: random.Random,
-    instructions: int,
-    base_line: int,
-    pc_block: int,
-    stride: int = 1,
-    gap: int = 2,
-    mispredict_rate: float = 0.002,
-    store_every: int = 0,
-    elements_per_line: int = 8,
-    array_lines: int = 0,
-    dep_every_lines: int = 4,
+def _scalar_emit_stream(
+    builder, rng, instructions, base_line, pc_block,
+    stride=1, gap=2, mispredict_rate=0.002, store_every=0,
+    elements_per_line=8, array_lines=0, dep_every_lines=4,
+    _state=None,
 ) -> None:
-    """Sequential/strided node scan: the canonical prefetcher-friendly
-    pattern.
-
-    Loads walk 8-byte elements; each cacheline serves ``elements_per_line``
-    consecutive loads.  Every ``dep_every_lines``-th line advance is
-    *address-dependent* on the previous line's data (a sequentially
-    laid-out linked structure whose node spans several lines), which makes
-    the pattern partially latency-bound without prefetching: the periodic
-    dependent advance caps the memory-level parallelism the out-of-order
-    window can extract, and an accurate prefetcher collapses those chains
-    into cache hits.  The period bounds the prefetcher's upside to the
-    paper's observed range (friendly-workload speedups of roughly
-    1.1-1.7x) instead of the unbounded win a fully-serialised stream
-    would show.
-
-    ``array_lines`` > 0 wraps the sweep so the array becomes LLC-resident
-    after the first pass (prefetching then hides on-chip latency without
-    extra DRAM traffic); 0 streams endlessly through cold memory.
-    """
-    line = base_line
-    swept = 0
-    emitted = 0
-    i = 0
-    lines_advanced = 0
+    if _state is None:
+        line, swept, emitted, i, lines_advanced = base_line, 0, 0, 0, 0
+    else:
+        line, swept, emitted, i, lines_advanced = _state
     while emitted < instructions:
         element = i % elements_per_line
         dependent = (
@@ -121,20 +169,13 @@ def emit_stream(
         i += 1
 
 
-def emit_stencil(
-    builder: TraceBuilder,
-    rng: random.Random,
-    instructions: int,
-    base_line: int,
-    pc_block: int,
-    arrays: int = 3,
-    array_gap_lines: int = 1 << 16,
-    mispredict_rate: float = 0.001,
-    elements_per_line: int = 8,
+def _scalar_emit_stencil(
+    builder, rng, instructions, base_line, pc_block,
+    arrays=3, array_gap_lines=1 << 16, mispredict_rate=0.001,
+    elements_per_line=8,
+    _state=None,
 ) -> None:
-    """Multiple concurrent unit-stride streams (a[i] = b[i] op c[i])."""
-    emitted = 0
-    i = 0
+    emitted, i = (0, 0) if _state is None else _state
     while emitted < instructions:
         line_index = i // elements_per_line
         element = i % elements_per_line
@@ -153,42 +194,27 @@ def emit_stencil(
         i += 1
 
 
-def emit_pointer_chase(
-    builder: TraceBuilder,
-    rng: random.Random,
-    instructions: int,
-    base_line: int,
-    working_set_lines: int,
-    pc_block: int,
-    gap: int = 8,
-    mispredict_rate: float = 0.02,
-    decoy_rate: float = 0.3,
-) -> None:
-    """Dependent random walk: prefetcher-adverse, highly off-chip.
-
-    Every load's address comes from the previous load's data (FLAG_DEP),
-    so misses serialise — the linked-list traversal of mcf/omnetpp/canneal.
-    With the working set far exceeding the LLC, nearly every access goes
-    off-chip, which is exactly the regime where an OCP shines.
-
-    ``decoy_rate`` controls how often a node visit spills into a short
-    sequential-line burst (reading the node's payload across adjacent
-    lines).  Real irregular workloads are full of such transient runs;
-    they bait stride/delta prefetchers into gaining confidence and then
-    spraying useless prefetch degree past the end of the run — the
-    mechanism behind the paper's prefetcher-adverse degradation.
-    """
-    # Sattolo's algorithm: a uniformly random single-cycle permutation,
-    # i.e. a genuine linked list threaded randomly through the working
-    # set.  (A multiplicative LCG walk degenerates into tiny same-set
-    # cycles for power-of-two working sets — a conflict-thrash
-    # microbenchmark, not a pointer chase.)
+def _sattolo(rng, working_set_lines: int) -> list:
+    """A uniformly random single-cycle permutation (see the pointer-chase
+    docstring for why a genuine cycle matters)."""
     perm = list(range(working_set_lines))
     for i in range(working_set_lines - 1, 0, -1):
         j = rng.randrange(i)
         perm[i], perm[j] = perm[j], perm[i]
-    state = rng.randrange(working_set_lines)
-    emitted = 0
+    return perm
+
+
+def _scalar_emit_pointer_chase(
+    builder, rng, instructions, base_line, working_set_lines, pc_block,
+    gap=8, mispredict_rate=0.02, decoy_rate=0.3,
+    _state=None,
+) -> None:
+    if _state is None:
+        perm = _sattolo(rng, working_set_lines)
+        state = rng.randrange(working_set_lines)
+        emitted = 0
+    else:
+        perm, state, emitted = _state
     while emitted < instructions:
         line = base_line + state
         builder.load(_pc(pc_block, 0), _line_to_addr(line), dependent=True)
@@ -206,30 +232,14 @@ def emit_pointer_chase(
         state = perm[state]
 
 
-def emit_hash_probe(
-    builder: TraceBuilder,
-    rng: random.Random,
-    instructions: int,
-    base_line: int,
-    working_set_lines: int,
-    pc_block: int,
-    locality: float = 0.1,
-    gap: int = 8,
-    mispredict_rate: float = 0.015,
-    chain_length: int = 2,
-    decoy_rate: float = 0.25,
+def _scalar_emit_hash_probe(
+    builder, rng, instructions, base_line, working_set_lines, pc_block,
+    locality=0.1, gap=8, mispredict_rate=0.015, chain_length=2,
+    decoy_rate=0.25,
+    _emitted=0,
 ) -> None:
-    """Random hash probes with dependent bucket chains (xalancbmk-like).
-
-    Each probe lands on a random bucket; collisions walk a short *dependent*
-    chain (``chain_length`` loads whose addresses come from the previous
-    load).  The mix leaves the pattern unprefetchable (random addresses) but
-    partially latency-bound (dependent chains), which is exactly the regime
-    where an accurate off-chip predictor wins and a prefetcher only burns
-    bandwidth — the paper's prefetcher-adverse class.
-    """
     hot_lines = max(8, int(working_set_lines * 0.01))
-    emitted = 0
+    emitted = _emitted
     while emitted < instructions:
         if rng.random() < locality:
             # Hot-set probes come from their own PC (the fast path that
@@ -265,28 +275,16 @@ def emit_hash_probe(
         emitted += fill
 
 
-def emit_graph_walk(
-    builder: TraceBuilder,
-    rng: random.Random,
-    instructions: int,
-    base_line: int,
-    num_vertices_lines: int,
-    pc_block: int,
-    neighbors_per_vertex: int = 4,
-    mispredict_rate: float = 0.01,
-    gap: int = 3,
-    clustering: float = 0.3,
+def _scalar_emit_graph_walk(
+    builder, rng, instructions, base_line, num_vertices_lines, pc_block,
+    neighbors_per_vertex=4, mispredict_rate=0.01, gap=3, clustering=0.3,
+    _state=None,
 ) -> None:
-    """Frontier-driven graph processing (Ligra BFS/PageRank shape).
-
-    Alternates a sequential frontier/offset scan (friendly) with bursts of
-    random vertex-data accesses (adverse); the blend is what makes graph
-    workloads partially prefetchable.
-    """
-    frontier_line = base_line
+    if _state is None:
+        frontier_line, step, emitted = base_line, 0, 0
+    else:
+        frontier_line, step, emitted = _state
     vertex_base = base_line + (1 << 20)
-    emitted = 0
-    step = 0
     while emitted < instructions:
         builder.load(
             _pc(pc_block, 0), _line_to_addr(frontier_line, (step * 8) & 0x3F)
@@ -316,17 +314,12 @@ def emit_graph_walk(
         emitted += fill
 
 
-def emit_gups(
-    builder: TraceBuilder,
-    rng: random.Random,
-    instructions: int,
-    base_line: int,
-    working_set_lines: int,
-    pc_block: int,
-    mispredict_rate: float = 0.005,
+def _scalar_emit_gups(
+    builder, rng, instructions, base_line, working_set_lines, pc_block,
+    mispredict_rate=0.005,
+    _emitted=0,
 ) -> None:
-    """Random read-modify-write updates (GUPS / streamcluster-like)."""
-    emitted = 0
+    emitted = _emitted
     while emitted < instructions:
         line = base_line + rng.randrange(working_set_lines)
         builder.load(_pc(pc_block, 0), _line_to_addr(line))
@@ -339,23 +332,11 @@ def emit_gups(
         emitted += fill
 
 
-def emit_compute(
-    builder: TraceBuilder,
-    rng: random.Random,
-    instructions: int,
-    base_line: int,
-    pc_block: int,
-    memory_ratio: float = 0.08,
-    working_set_lines: int = 4096,
-    mispredict_rate: float = 0.04,
-    streaming_fraction: float = 0.5,
+def _scalar_emit_compute(
+    builder, rng, instructions, base_line, pc_block,
+    memory_ratio=0.08, working_set_lines=4096, mispredict_rate=0.04,
+    streaming_fraction=0.5,
 ) -> None:
-    """Compute-dominated phases with occasional memory bursts (CVP-like).
-
-    The streaming component walks 8-byte elements of a sequentially-linked
-    structure (periodic dependent line advance, like :func:`emit_stream`);
-    the irregular component probes a random working set.
-    """
     stream_line = base_line
     element = 0
     emitted = 0
@@ -387,6 +368,786 @@ def emit_compute(
 
 
 # --------------------------------------------------------------------------
+# vectorized emitters
+# --------------------------------------------------------------------------
+
+def _load_flags(dep_mask: np.ndarray) -> np.ndarray:
+    return np.where(dep_mask, FLAG_LOAD | FLAG_DEP, FLAG_LOAD).astype(np.uint8)
+
+
+def _vec_emit_stream(
+    builder, rng, instructions, base_line, pc_block,
+    stride=1, gap=2, mispredict_rate=0.002, store_every=0,
+    elements_per_line=8, array_lines=0, dep_every_lines=4,
+) -> None:
+    """Vectorized :func:`emit_stream`: the iteration skeleton (line walk,
+    store cadence, dependence period) is a closed-form function of the
+    iteration index, and the only RNG consumer is the filler — so the
+    whole prefix of *full* iterations is three numpy scatters plus one
+    bulk filler decode."""
+    L = instructions
+    epl = elements_per_line
+    se = store_every
+    # Emitted-before-iteration counts; an iteration is *full* (its filler
+    # gap is not budget-clamped) while e + 1 + store + gap <= L.
+    hi = L // (1 + gap) + 2
+    i_arr = np.arange(hi, dtype=np.int64)
+    s_arr = ((i_arr % se) == se - 1).astype(np.int64) if se else \
+        np.zeros(hi, dtype=np.int64)
+    e_arr = i_arr * (1 + gap) + (i_arr // se if se else 0)
+    partial = e_arr + 1 + s_arr + gap > L
+    K = int(np.argmax(partial)) if partial.any() else hi
+    if K:
+        i_arr, s_arr, e_arr = i_arr[:K], s_arr[:K], e_arr[:K]
+        br = BulkRandom(rng)
+        g = i_arr // epl
+        element = i_arr - g * epl
+        if array_lines:
+            period = -(-array_lines // stride)  # ceil: advances per wrap
+            adv = g % period
+        else:
+            adv = g
+        line = base_line + stride * adv
+        dep = (element == 0) & (g % max(1, dep_every_lines) == 0)
+
+        total = int(e_arr[-1]) + 1 + int(s_arr[-1]) + gap
+        pcs = np.empty(total, dtype=np.int64)
+        addrs = np.zeros(total, dtype=np.int64)
+        flags = np.zeros(total, dtype=np.uint8)
+
+        pcs[e_arr] = _pc(pc_block, 0)
+        addrs[e_arr] = (line << LINE_SHIFT) | ((element * 8) & 0x3F)
+        flags[e_arr] = _load_flags(dep)
+        if se:
+            sm = s_arr.astype(bool)
+            store_pos = e_arr[sm] + 1
+            pcs[store_pos] = _pc(pc_block, 1)
+            addrs[store_pos] = (line[sm] << LINE_SHIFT) | 8
+            flags[store_pos] = FLAG_STORE
+        if gap:
+            fpc, _, ffl = bulk_filler(br, gap * K, pc_block, mispredict_rate)
+            fpos = (
+                (e_arr + 1 + s_arr)[:, None]
+                + np.arange(gap, dtype=np.int64)
+            ).ravel()
+            pcs[fpos] = fpc
+            flags[fpos] = ffl
+        builder.extend(pcs, addrs, flags)
+        br.sync()
+
+    # Scalar tail: at most a couple of budget-clamped iterations.
+    g = K // epl
+    if array_lines:
+        period = -(-array_lines // stride)
+        adv = g % period
+    else:
+        adv = g
+    _scalar_emit_stream(
+        builder, rng, instructions, base_line, pc_block,
+        stride=stride, gap=gap, mispredict_rate=mispredict_rate,
+        store_every=se, elements_per_line=epl, array_lines=array_lines,
+        dep_every_lines=dep_every_lines,
+        _state=(base_line + stride * adv, stride * adv,
+                int(e_arr[-1]) + 1 + int(s_arr[-1]) + gap if K else 0,
+                K, g),
+    )
+
+
+def _vec_emit_stencil(
+    builder, rng, instructions, base_line, pc_block,
+    arrays=3, array_gap_lines=1 << 16, mispredict_rate=0.001,
+    elements_per_line=8,
+) -> None:
+    """Vectorized :func:`emit_stencil`: uniform rounds of ``arrays``
+    accesses + 3 filler build directly as a ``(rounds, size)`` matrix."""
+    L = instructions
+    rs = arrays + 3
+    K = L // rs
+    if K:
+        br = BulkRandom(rng)
+        i_arr = np.arange(K, dtype=np.int64)
+        line_index = i_arr // elements_per_line
+        element = i_arr % elements_per_line
+        pcs = np.empty((K, rs), dtype=np.int64)
+        addrs = np.zeros((K, rs), dtype=np.int64)
+        flags = np.zeros((K, rs), dtype=np.uint8)
+        offset = (element * 8) & 0x3F
+        for a in range(arrays):
+            line = base_line + a * array_gap_lines + line_index
+            pcs[:, a] = _pc(pc_block, a)
+            addrs[:, a] = (line << LINE_SHIFT) | offset
+            flags[:, a] = FLAG_STORE if a == arrays - 1 else FLAG_LOAD
+        fpc, _, ffl = bulk_filler(br, 3 * K, pc_block, mispredict_rate)
+        pcs[:, arrays:] = fpc.reshape(K, 3)
+        flags[:, arrays:] = ffl.reshape(K, 3)
+        builder.extend(pcs.ravel(), addrs.ravel(), flags.ravel())
+        br.sync()
+    _scalar_emit_stencil(
+        builder, rng, instructions, base_line, pc_block,
+        arrays=arrays, array_gap_lines=array_gap_lines,
+        mispredict_rate=mispredict_rate, elements_per_line=elements_per_line,
+        _state=(K * rs, K),
+    )
+
+
+def _vec_emit_gups(
+    builder, rng, instructions, base_line, working_set_lines, pc_block,
+    mispredict_rate=0.005,
+) -> None:
+    """Vectorized :func:`emit_gups`: one ``randrange`` + load/store pair +
+    8 filler per round; the word-offset chain walks precomputed
+    randrange/filler jump tables, everything else is gathers."""
+    L = instructions
+    K = L // 10
+    br = BulkRandom(rng)
+    if K:
+        win = WordWindow(br, K * 21 + 256)
+
+        def tables():
+            rr = randrange_tables(win, working_set_lines)
+            fj1 = filler_jump(win)
+            # One whole round — randrange, then an 8-instruction filler
+            # run — as a single composed jump table.
+            return rr, fj1, compose_jump(fj1, 8)[rr.after]
+
+        rr, fjmp1, G = tables()
+        offs = np.empty(K, dtype=np.int64)
+        G_item = G.item
+        o = 0
+        limit = win.size - 64
+        k = 0
+        while k < K:
+            if o >= limit:
+                # The offset may have been sentinel-clamped by the old
+                # window's tables: regrow, then recompute it from the
+                # last committed round with the fresh tables.
+                win.grow()
+                rr, fjmp1, G = tables()
+                G_item = G.item
+                limit = win.size - 64
+                o = G_item(offs[k - 1]) if k else 0
+                continue
+            offs[k] = o
+            o = G_item(o)
+            k += 1
+        while o >= limit:
+            # the *final* offset may be sentinel-clamped too: regrow
+            # until it decodes inside the window
+            win.grow()
+            rr, fjmp1, G = tables()
+            G_item = G.item
+            limit = win.size - 64
+            o = G_item(offs[K - 1])
+        br.advance_words(o)
+        vals = rr.value_at(offs)
+        fstarts = rr.after[offs]
+
+        pcs = np.empty((K, 10), dtype=np.int64)
+        addrs = np.zeros((K, 10), dtype=np.int64)
+        flags = np.zeros((K, 10), dtype=np.uint8)
+        line = base_line + vals
+        pcs[:, 0] = _pc(pc_block, 0)
+        addrs[:, 0] = line << LINE_SHIFT
+        flags[:, 0] = FLAG_LOAD
+        pcs[:, 1] = _pc(pc_block, 1)
+        addrs[:, 1] = (line << LINE_SHIFT) | 8
+        flags[:, 1] = FLAG_STORE
+        offs = filler_run_offsets(fjmp1, fstarts, 8)
+        fpc, ffl = filler_at(win, offs.ravel(), pc_block, mispredict_rate)
+        pcs[:, 2:] = fpc.reshape(K, 8)
+        flags[:, 2:] = ffl.reshape(K, 8)
+        builder.extend(pcs.ravel(), addrs.ravel(), flags.ravel())
+    br.sync()
+    _scalar_emit_gups(
+        builder, rng, instructions, base_line, working_set_lines, pc_block,
+        mispredict_rate=mispredict_rate, _emitted=K * 10,
+    )
+
+
+def _vec_emit_pointer_chase(
+    builder, rng, instructions, base_line, working_set_lines, pc_block,
+    gap=8, mispredict_rate=0.02, decoy_rate=0.3,
+) -> None:
+    """Vectorized :func:`emit_pointer_chase`: the Sattolo cycle is drawn
+    through the bulk RNG, the walk itself is a precomputed permutation
+    orbit, and the decoy/filler decode is an offset chain."""
+    L = instructions
+    br = BulkRandom(rng)
+    perm = list(range(working_set_lines))
+    if working_set_lines > 1:
+        js = br.randrange_var(range(working_set_lines - 1, 0, -1)).tolist()
+        for i, j in zip(range(working_set_lines - 1, 0, -1), js):
+            perm[i], perm[j] = perm[j], perm[i]
+    state = int(br.randrange(working_set_lines, 1)[0])
+
+    max_round = 5 + gap
+    emitted = 0
+    if L >= max_round:
+        # Speculatively decode an upper bound of rounds (as if none were
+        # budget-clamped), then cut at the round where the scalar loop
+        # would have stopped; only the words of kept rounds are committed.
+        K_max = (L - max_round) // (1 + gap) + 2
+        win = WordWindow(br, K_max * (2 + gap * 3) + 256)
+
+        def tables():
+            fj1 = filler_jump(win)
+            fjg = compose_jump(fj1, gap)
+            # One round: optional decoy-decision double, then the gap run.
+            return fj1, fjg[clamped_step(win, 2)] if decoy_rate else fjg
+
+        fjmp1, G = tables()
+        offs = np.empty(K_max + 1, dtype=np.int64)
+        G_item = G.item
+        o = 0
+        limit = win.size - (8 + 4 * gap)
+        k = 0
+        while k <= K_max:
+            if o >= limit:
+                # possibly sentinel-clamped by the old tables: regrow
+                # and recompute from the last committed round
+                win.grow()
+                fjmp1, G = tables()
+                G_item = G.item
+                limit = win.size - (8 + 4 * gap)
+                o = G_item(offs[k - 1]) if k else 0
+                continue
+            offs[k] = o
+            o = G_item(o)
+            k += 1
+        if decoy_rate:
+            dc_full = win.mant[offs[:K_max]] < ithreshold(decoy_rate)
+        else:
+            dc_full = np.zeros(K_max, dtype=bool)
+        sizes = np.where(dc_full, 5 + gap, 1 + gap).astype(np.int64)
+        e_before = np.cumsum(sizes) - sizes
+        K = int(np.searchsorted(e_before, L - max_round, side="right"))
+        br.advance_words(int(offs[K]))
+
+        if K:
+            dc_arr = dc_full[:K]
+            off = e_before[:K]
+            emitted = int(off[-1] + sizes[K - 1])
+            fstarts = offs[:K] + (2 if decoy_rate else 0)
+            states = np.empty(K, dtype=np.int64)
+            s = state
+            for k in range(K):
+                states[k] = s
+                s = perm[s]
+            state = s
+
+            total = emitted
+            pcs = np.empty(total, dtype=np.int64)
+            addrs = np.zeros(total, dtype=np.int64)
+            flags = np.zeros(total, dtype=np.uint8)
+            line = base_line + states
+            pcs[off] = _pc(pc_block, 0)
+            addrs[off] = line << LINE_SHIFT
+            flags[off] = FLAG_LOAD | FLAG_DEP
+            if dc_arr.any():
+                doff = off[dc_arr]
+                dpos = (
+                    doff[:, None] + np.arange(1, 5, dtype=np.int64)
+                ).ravel()
+                dline = (
+                    line[dc_arr][:, None]
+                    + np.arange(1, 5, dtype=np.int64)
+                )
+                pcs[dpos] = _pc(pc_block, 2)
+                addrs[dpos] = (dline << LINE_SHIFT).ravel()
+                flags[dpos] = FLAG_LOAD
+            if gap:
+                foffs = filler_run_offsets(fjmp1, fstarts, gap)
+                fpc, ffl = filler_at(
+                    win, foffs.ravel(), pc_block, mispredict_rate
+                )
+                fpos = (
+                    (off + np.where(dc_arr, 5, 1))[:, None]
+                    + np.arange(gap, dtype=np.int64)
+                ).ravel()
+                pcs[fpos] = fpc
+                flags[fpos] = ffl
+            builder.extend(pcs, addrs, flags)
+    br.sync()
+    _scalar_emit_pointer_chase(
+        builder, rng, instructions, base_line, working_set_lines, pc_block,
+        gap=gap, mispredict_rate=mispredict_rate, decoy_rate=decoy_rate,
+        _state=(perm, state, emitted),
+    )
+
+
+def _vec_emit_hash_probe(
+    builder, rng, instructions, base_line, working_set_lines, pc_block,
+    locality=0.1, gap=8, mispredict_rate=0.015, chain_length=2,
+    decoy_rate=0.25,
+) -> None:
+    """Vectorized :func:`emit_hash_probe`: hot/cold randrange tables feed
+    a per-round offset chain; the dependent bucket chains are Fibonacci
+    hashes of the probe value, computed as whole index arrays."""
+    L = instructions
+    cl = chain_length
+    hot_lines = max(8, int(working_set_lines * 0.01))
+    max_round = 1 + 4 * cl + 4 + gap
+    br = BulkRandom(rng)
+    emitted = 0
+    if L >= max_round:
+        K_max = (L - max_round) // (max_round - 4) + 2
+        win = WordWindow(br, K_max * (7 + (3 * cl + gap) * 5 // 2) + 256)
+
+        def tables():
+            fj1 = filler_jump(win)
+            fj3 = compose_jump(fj1, 3)
+            fjg = compose_jump(fj1, gap)
+            rrh = randrange_tables(win, hot_lines)
+            rrw = randrange_tables(win, working_set_lines)
+            hot_t = win.below(locality)
+            sent = np.int32(win.size - 2)
+            s2 = clamped_step(win, 2)
+            r_after = np.where(hot_t, rrh.after[s2], rrw.after[s2])
+            hops_after = compose_jump(fj3, cl)[r_after] if cl else r_after
+            g_start = np.minimum(hops_after + 2, sent) if decoy_rate \
+                else hops_after
+            return (fj1, fj3, rrh, rrw, hot_t, r_after, hops_after,
+                    fjg[g_start])
+
+        fjmp1, fjmp3, rrh, rrw, hot_t, r_after, hops_after, G = tables()
+        offs = np.empty(K_max + 1, dtype=np.int64)
+        G_item = G.item
+        o = 0
+        limit = win.size - (16 + 4 * (3 * cl + gap))
+        k = 0
+        while k <= K_max:
+            if o >= limit:
+                # possibly sentinel-clamped by the old tables: regrow
+                # and recompute from the last committed round
+                win.grow()
+                (fjmp1, fjmp3, rrh, rrw, hot_t, r_after, hops_after,
+                 G) = tables()
+                G_item = G.item
+                limit = win.size - (16 + 4 * (3 * cl + gap))
+                o = G_item(offs[k - 1]) if k else 0
+                continue
+            offs[k] = o
+            o = G_item(o)
+            k += 1
+        if decoy_rate:
+            dc_full = win.mant[hops_after[offs[:K_max]]] < \
+                ithreshold(decoy_rate)
+        else:
+            dc_full = np.zeros(K_max, dtype=bool)
+        sizes = (1 + 4 * cl + gap + np.where(dc_full, 4, 0)).astype(np.int64)
+        e_before = np.cumsum(sizes) - sizes
+        K = int(np.searchsorted(e_before, L - max_round, side="right"))
+        br.advance_words(int(offs[K]))
+
+        if K:
+            ro = offs[:K]
+            hot_arr = hot_t[ro]
+            dc_arr = dc_full[:K]
+            o1 = np.minimum(ro + 2, win.size - 2)
+            val_arr = np.where(
+                hot_arr, rrh.value_at(o1), rrw.value_at(o1)
+            ).astype(np.int64)
+            off = e_before[:K]
+            emitted = int(off[-1] + sizes[K - 1])
+            total = emitted
+            pcs = np.empty(total, dtype=np.int64)
+            addrs = np.zeros(total, dtype=np.int64)
+            flags = np.zeros(total, dtype=np.uint8)
+
+            line = base_line + val_arr
+            pcs[off] = np.where(hot_arr, _pc(pc_block, 5), _pc(pc_block, 0))
+            addrs[off] = line << LINE_SHIFT
+            flags[off] = FLAG_LOAD
+            fs = r_after[ro]
+            for hop in range(cl):
+                line = base_line + (line * 2654435761 + hop) % \
+                    working_set_lines
+                hpos = off + 1 + 4 * hop
+                pcs[hpos] = _pc(pc_block, 1)
+                addrs[hpos] = line << LINE_SHIFT
+                flags[hpos] = FLAG_LOAD | FLAG_DEP
+                foffs = filler_run_offsets(fjmp1, fs, 3)
+                fpc, ffl = filler_at(
+                    win, foffs.ravel(), pc_block, mispredict_rate
+                )
+                fpos = (
+                    (hpos + 1)[:, None] + np.arange(3, dtype=np.int64)
+                ).ravel()
+                pcs[fpos] = fpc.ravel()
+                flags[fpos] = ffl.ravel()
+                fs = fjmp3[fs]
+            if dc_arr.any():
+                dpos = (
+                    (off[dc_arr] + 1 + 4 * cl)[:, None]
+                    + np.arange(4, dtype=np.int64)
+                ).ravel()
+                dline = (
+                    line[dc_arr][:, None] + np.arange(1, 5, dtype=np.int64)
+                )
+                pcs[dpos] = _pc(pc_block, 3)
+                addrs[dpos] = (dline << LINE_SHIFT).ravel()
+                flags[dpos] = FLAG_LOAD
+            if gap:
+                fg = np.minimum(hops_after[ro] + 2, win.size - 2) \
+                    if decoy_rate else hops_after[ro]
+                foffs = filler_run_offsets(fjmp1, fg, gap)
+                fpc, ffl = filler_at(
+                    win, foffs.ravel(), pc_block, mispredict_rate
+                )
+                fpos = (
+                    (off + 1 + 4 * cl + np.where(dc_arr, 4, 0))[:, None]
+                    + np.arange(gap, dtype=np.int64)
+                ).ravel()
+                pcs[fpos] = fpc
+                flags[fpos] = ffl
+            builder.extend(pcs, addrs, flags)
+    br.sync()
+    _scalar_emit_hash_probe(
+        builder, rng, instructions, base_line, working_set_lines, pc_block,
+        locality=locality, gap=gap, mispredict_rate=mispredict_rate,
+        chain_length=chain_length, decoy_rate=decoy_rate,
+        _emitted=emitted,
+    )
+
+
+def _vec_emit_graph_walk(
+    builder, rng, instructions, base_line, num_vertices_lines, pc_block,
+    neighbors_per_vertex=4, mispredict_rate=0.01, gap=3, clustering=0.3,
+) -> None:
+    """Vectorized :func:`emit_graph_walk`: uniform rounds (frontier scan +
+    ``neighbors_per_vertex`` probes) built as a matrix, with hot/cold
+    vertex randrange tables driving the neighbour targets."""
+    L = instructions
+    npv = neighbors_per_vertex
+    hot_vertices = max(16, num_vertices_lines // 64)
+    vertex_base = base_line + (1 << 20)
+    rs = 1 + npv * (1 + gap) + gap
+    K = L // rs
+    br = BulkRandom(rng)
+    if K:
+        win = WordWindow(
+            br, K * (npv * (7 + 5 * gap // 2) + 5 * gap // 2) + 256
+        )
+
+        def tables():
+            fj1 = filler_jump(win)
+            fjg = compose_jump(fj1, gap)
+            rrh = randrange_tables(win, hot_vertices)
+            rrn = randrange_tables(win, num_vertices_lines)
+            hot_t = win.below(clustering)
+            s2 = clamped_step(win, 2)
+            # One neighbour: clustering double, hot/cold randrange,
+            # dependence double, then the gap-instruction filler run.
+            nb_after = np.where(hot_t, rrh.after[s2], rrn.after[s2])
+            fstart_t = np.minimum(nb_after + 2, np.int32(win.size - 2))
+            N = fjg[fstart_t]
+            # Full round: npv neighbours, then the final filler run.
+            return (fj1, rrh, rrn, hot_t, nb_after, fstart_t, N,
+                    fjg[compose_jump(N, npv)])
+
+        fjmp1, rrh, rrn, hot_t, nb_after, fstart_t, N, G = tables()
+        offs = np.empty(K, dtype=np.int64)
+        G_item = G.item
+        o = 0
+        limit = win.size - (16 + (npv + 1) * 4 * gap)
+        k = 0
+        while k < K:
+            if o >= limit:
+                # possibly sentinel-clamped by the old tables: regrow
+                # and recompute from the last committed round
+                win.grow()
+                fjmp1, rrh, rrn, hot_t, nb_after, fstart_t, N, G = tables()
+                G_item = G.item
+                limit = win.size - (16 + (npv + 1) * 4 * gap)
+                o = G_item(offs[k - 1]) if k else 0
+                continue
+            offs[k] = o
+            o = G_item(o)
+            k += 1
+        while o >= limit:
+            # the *final* offset may be sentinel-clamped too: regrow
+            # until it decodes inside the window
+            win.grow()
+            fjmp1, rrh, rrn, hot_t, nb_after, fstart_t, N, G = tables()
+            G_item = G.item
+            limit = win.size - (16 + (npv + 1) * 4 * gap)
+            o = G_item(offs[K - 1])
+        br.advance_words(o)
+
+        i_arr = np.arange(K, dtype=np.int64)
+        pcs = np.empty((K, rs), dtype=np.int64)
+        addrs = np.zeros((K, rs), dtype=np.int64)
+        flags = np.zeros((K, rs), dtype=np.uint8)
+        pcs[:, 0] = _pc(pc_block, 0)
+        addrs[:, 0] = ((base_line + i_arr // 8) << LINE_SHIFT) | \
+            ((i_arr * 8) & 0x3F)
+        flags[:, 0] = FLAG_LOAD
+        cur = offs
+        for nb in range(npv):
+            col = 1 + nb * (1 + gap)
+            hot = hot_t[cur]
+            o1 = np.minimum(cur + 2, win.size - 2)
+            vals = np.where(
+                hot, rrh.value_at(o1), rrn.value_at(o1)
+            ).astype(np.int64)
+            deps = win.mant[nb_after[cur]] < ithreshold(0.4)
+            pcs[:, col] = _pc(pc_block, 1)
+            addrs[:, col] = (vertex_base + vals) << LINE_SHIFT
+            flags[:, col] = _load_flags(deps)
+            if gap:
+                foffs = filler_run_offsets(fjmp1, fstart_t[cur], gap)
+                fpc, ffl = filler_at(
+                    win, foffs.ravel(), pc_block, mispredict_rate
+                )
+                pcs[:, col + 1: col + 1 + gap] = fpc.reshape(K, gap)
+                flags[:, col + 1: col + 1 + gap] = ffl.reshape(K, gap)
+            cur = N[cur]
+        if gap:
+            foffs = filler_run_offsets(fjmp1, cur, gap)
+            fpc, ffl = filler_at(win, foffs.ravel(), pc_block,
+                                 mispredict_rate)
+            pcs[:, rs - gap:] = fpc.reshape(K, gap)
+            flags[:, rs - gap:] = ffl.reshape(K, gap)
+        builder.extend(pcs.ravel(), addrs.ravel(), flags.ravel())
+    br.sync()
+    _scalar_emit_graph_walk(
+        builder, rng, instructions, base_line, num_vertices_lines, pc_block,
+        neighbors_per_vertex=npv, mispredict_rate=mispredict_rate,
+        gap=gap, clustering=clustering,
+        _state=(base_line + K // 8, K, K * rs),
+    )
+
+
+def _vec_emit_compute(
+    builder, rng, instructions, base_line, pc_block,
+    memory_ratio=0.08, working_set_lines=4096, mispredict_rate=0.04,
+    streaming_fraction=0.5,
+) -> None:
+    """Vectorized :func:`emit_compute`: every instruction consumes one to
+    three draws, so the decode is a single per-instruction offset chain
+    through one composed transition table; the streaming component's
+    element/line state is a prefix-sum over the stream-load subsequence."""
+    L = instructions
+    br = BulkRandom(rng)
+    # ~4.4 words/instruction: every instruction draws the memory-ratio
+    # double, then either the filler or the stream/irregular decode.
+    win = WordWindow(br, L * 9 // 2 + 256)
+
+    def tables():
+        below_ratio = win.below(memory_ratio)
+        below_sf = win.below(streaming_fraction)
+        below_b = win.below(0.15)
+        rr = randrange_tables(win, working_set_lines)
+        idx = win.idx
+        o2 = np.minimum(idx + 2, win.size - 1)
+        o4 = np.minimum(idx + 4, win.size - 2)
+        T = np.where(
+            below_ratio,
+            np.where(below_sf[o2], idx + 4, rr.after[o4]),
+            np.where(below_b[o2], idx + 6, idx + 4),
+        )
+        np.clip(T, 0, win.size - 2, out=T)
+        return below_ratio, below_sf, below_b, rr, T
+
+    below_ratio, below_sf, below_b, rr, T = tables()
+    offs = np.empty(L, dtype=np.int64)
+    T_item = T.item
+    o = 0
+    limit = win.size - 64
+    k = 0
+    while k < L:
+        if o >= limit:
+            # possibly sentinel-clamped by the old tables: regrow and
+            # recompute from the last committed instruction
+            win.grow()
+            below_ratio, below_sf, below_b, rr, T = tables()
+            T_item = T.item
+            limit = win.size - 64
+            o = T_item(offs[k - 1]) if k else 0
+            continue
+        offs[k] = o
+        o = T_item(o)
+        k += 1
+    while o >= limit:
+        # the *final* offset may be sentinel-clamped too: regrow until
+        # it decodes inside the window
+        win.grow()
+        below_ratio, below_sf, below_b, rr, T = tables()
+        T_item = T.item
+        limit = win.size - 64
+        o = T_item(offs[L - 1])
+    br.advance_words(o)
+
+    mem = below_ratio[offs]
+    stream = mem & below_sf[offs + 2]
+    irregular = mem & ~stream
+    fill = ~mem
+    fbranch = fill & below_b[offs + 2]
+    fmis = fbranch & (win.mant[offs + 4] < ithreshold(mispredict_rate))
+
+    pcs = np.empty(L, dtype=np.int64)
+    addrs = np.zeros(L, dtype=np.int64)
+    flags = np.zeros(L, dtype=np.uint8)
+
+    j = np.arange(int(stream.sum()), dtype=np.int64)
+    element = j & 7
+    pcs[stream] = _pc(pc_block, 0)
+    addrs[stream] = ((base_line + (j >> 3)) << LINE_SHIFT) | \
+        ((element * 8) & 0x3F)
+    flags[stream] = _load_flags((j & 31) == 0)
+
+    if irregular.any():
+        v = rr.value_at(np.minimum(offs[irregular] + 4, win.size - 1))
+        pcs[irregular] = _pc(pc_block, 1)
+        addrs[irregular] = (base_line + (1 << 20) + v) << LINE_SHIFT
+        flags[irregular] = FLAG_LOAD
+
+    pcs[fill] = np.where(fbranch[fill], _pc(pc_block, 9), _pc(pc_block, 8))
+    fl = np.where(fbranch, FLAG_BRANCH, 0).astype(np.uint8)
+    fl[fmis] |= FLAG_MISPRED
+    flags[fill] = fl[fill]
+    builder.extend(pcs, addrs, flags)
+    br.sync()
+
+
+# --------------------------------------------------------------------------
+# public emitters (vectorized, scalar under ``scalar_generators()``)
+# --------------------------------------------------------------------------
+
+def emit_stream(builder, rng, instructions, base_line, pc_block,
+                stride=1, gap=2, mispredict_rate=0.002, store_every=0,
+                elements_per_line=8, array_lines=0,
+                dep_every_lines=4) -> None:
+    """Sequential/strided node scan: the canonical prefetcher-friendly
+    pattern.
+
+    Loads walk 8-byte elements; each cacheline serves ``elements_per_line``
+    consecutive loads.  Every ``dep_every_lines``-th line advance is
+    *address-dependent* on the previous line's data (a sequentially
+    laid-out linked structure whose node spans several lines), which makes
+    the pattern partially latency-bound without prefetching: the periodic
+    dependent advance caps the memory-level parallelism the out-of-order
+    window can extract, and an accurate prefetcher collapses those chains
+    into cache hits.  The period bounds the prefetcher's upside to the
+    paper's observed range (friendly-workload speedups of roughly
+    1.1-1.7x) instead of the unbounded win a fully-serialised stream
+    would show.
+
+    ``array_lines`` > 0 wraps the sweep so the array becomes LLC-resident
+    after the first pass (prefetching then hides on-chip latency without
+    extra DRAM traffic); 0 streams endlessly through cold memory.
+    """
+    impl = _scalar_emit_stream \
+        if _use_scalar or instructions < _VEC_MIN else _vec_emit_stream
+    impl(builder, rng, instructions, base_line, pc_block, stride=stride,
+         gap=gap, mispredict_rate=mispredict_rate, store_every=store_every,
+         elements_per_line=elements_per_line, array_lines=array_lines,
+         dep_every_lines=dep_every_lines)
+
+
+def emit_stencil(builder, rng, instructions, base_line, pc_block,
+                 arrays=3, array_gap_lines=1 << 16, mispredict_rate=0.001,
+                 elements_per_line=8) -> None:
+    """Multiple concurrent unit-stride streams (a[i] = b[i] op c[i])."""
+    impl = _scalar_emit_stencil \
+        if _use_scalar or instructions < _VEC_MIN else _vec_emit_stencil
+    impl(builder, rng, instructions, base_line, pc_block, arrays=arrays,
+         array_gap_lines=array_gap_lines, mispredict_rate=mispredict_rate,
+         elements_per_line=elements_per_line)
+
+
+def emit_pointer_chase(builder, rng, instructions, base_line,
+                       working_set_lines, pc_block, gap=8,
+                       mispredict_rate=0.02, decoy_rate=0.3) -> None:
+    """Dependent random walk: prefetcher-adverse, highly off-chip.
+
+    Every load's address comes from the previous load's data (FLAG_DEP),
+    so misses serialise — the linked-list traversal of mcf/omnetpp/canneal.
+    With the working set far exceeding the LLC, nearly every access goes
+    off-chip, which is exactly the regime where an OCP shines.
+
+    The walk follows a Sattolo single-cycle permutation (a genuine linked
+    list threaded randomly through the working set; a multiplicative LCG
+    walk degenerates into tiny same-set cycles for power-of-two working
+    sets — a conflict-thrash microbenchmark, not a pointer chase).
+
+    ``decoy_rate`` controls how often a node visit spills into a short
+    sequential-line burst (reading the node's payload across adjacent
+    lines).  Real irregular workloads are full of such transient runs;
+    they bait stride/delta prefetchers into gaining confidence and then
+    spraying useless prefetch degree past the end of the run — the
+    mechanism behind the paper's prefetcher-adverse degradation.
+    """
+    impl = _scalar_emit_pointer_chase \
+        if _use_scalar or instructions < _VEC_MIN \
+        else _vec_emit_pointer_chase
+    impl(builder, rng, instructions, base_line, working_set_lines, pc_block,
+         gap=gap, mispredict_rate=mispredict_rate, decoy_rate=decoy_rate)
+
+
+def emit_hash_probe(builder, rng, instructions, base_line,
+                    working_set_lines, pc_block, locality=0.1, gap=8,
+                    mispredict_rate=0.015, chain_length=2,
+                    decoy_rate=0.25) -> None:
+    """Random hash probes with dependent bucket chains (xalancbmk-like).
+
+    Each probe lands on a random bucket; collisions walk a short *dependent*
+    chain (``chain_length`` loads whose addresses come from the previous
+    load).  The mix leaves the pattern unprefetchable (random addresses) but
+    partially latency-bound (dependent chains), which is exactly the regime
+    where an accurate off-chip predictor wins and a prefetcher only burns
+    bandwidth — the paper's prefetcher-adverse class.
+    """
+    impl = _scalar_emit_hash_probe \
+        if _use_scalar or instructions < _VEC_MIN else _vec_emit_hash_probe
+    impl(builder, rng, instructions, base_line, working_set_lines, pc_block,
+         locality=locality, gap=gap, mispredict_rate=mispredict_rate,
+         chain_length=chain_length, decoy_rate=decoy_rate)
+
+
+def emit_graph_walk(builder, rng, instructions, base_line,
+                    num_vertices_lines, pc_block, neighbors_per_vertex=4,
+                    mispredict_rate=0.01, gap=3, clustering=0.3) -> None:
+    """Frontier-driven graph processing (Ligra BFS/PageRank shape).
+
+    Alternates a sequential frontier/offset scan (friendly) with bursts of
+    random vertex-data accesses (adverse); the blend is what makes graph
+    workloads partially prefetchable.
+    """
+    impl = _scalar_emit_graph_walk \
+        if _use_scalar or instructions < _VEC_MIN else _vec_emit_graph_walk
+    impl(builder, rng, instructions, base_line, num_vertices_lines, pc_block,
+         neighbors_per_vertex=neighbors_per_vertex,
+         mispredict_rate=mispredict_rate, gap=gap, clustering=clustering)
+
+
+def emit_gups(builder, rng, instructions, base_line, working_set_lines,
+              pc_block, mispredict_rate=0.005) -> None:
+    """Random read-modify-write updates (GUPS / streamcluster-like)."""
+    impl = _scalar_emit_gups \
+        if _use_scalar or instructions < _VEC_MIN else _vec_emit_gups
+    impl(builder, rng, instructions, base_line, working_set_lines, pc_block,
+         mispredict_rate=mispredict_rate)
+
+
+def emit_compute(builder, rng, instructions, base_line, pc_block,
+                 memory_ratio=0.08, working_set_lines=4096,
+                 mispredict_rate=0.04, streaming_fraction=0.5) -> None:
+    """Compute-dominated phases with occasional memory bursts (CVP-like).
+
+    The streaming component walks 8-byte elements of a sequentially-linked
+    structure (periodic dependent line advance, like :func:`emit_stream`);
+    the irregular component probes a random working set.
+    """
+    impl = _scalar_emit_compute \
+        if _use_scalar or instructions < _VEC_MIN else _vec_emit_compute
+    impl(builder, rng, instructions, base_line, pc_block,
+         memory_ratio=memory_ratio, working_set_lines=working_set_lines,
+         mispredict_rate=mispredict_rate,
+         streaming_fraction=streaming_fraction)
+
+
+# --------------------------------------------------------------------------
 # whole-workload generators (phase composition)
 # --------------------------------------------------------------------------
 
@@ -411,8 +1172,8 @@ def _compose(
     # Emitters may land a few instructions off their budget (a burst or a
     # store straddling the boundary); deliver the exact requested length.
     if len(builder) < length:
-        _filler(builder, rng, length - len(builder), pc_block=0,
-                mispredict_rate=0.0)
+        _emit_filler(builder, rng, length - len(builder), pc_block=0,
+                     mispredict_rate=0.0)
     trace = builder.build(metadata={"seed": seed, "length": length})
     if len(trace) > length:
         trace = trace.slice(0, length)

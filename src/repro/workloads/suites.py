@@ -358,7 +358,15 @@ def representative_subset(
     return tuple(picked[:count])
 
 
-@lru_cache(maxsize=512)
 def build_trace(spec: WorkloadSpec, length: int) -> Trace:
-    """Build (and memoize) the trace for a workload spec at one length."""
-    return spec.build(length)
+    """Build (and memoize) the trace for a workload spec at one length.
+
+    The single cached entry point for trace materialization: resolves
+    through the process-wide content-addressed
+    :class:`~repro.workloads.tracecache.TraceCache` (in-memory LRU plus
+    the optional ``REPRO_TRACE_DIR`` on-disk store), so engine workers
+    and repeated figure drivers stop regenerating identical traces.
+    """
+    from .tracecache import trace_cache
+
+    return trace_cache().get_or_build(spec, length)

@@ -123,22 +123,57 @@ class Trace:
 
 
 class TraceBuilder:
-    """Incrementally build a :class:`Trace` (used by the generators)."""
+    """Incrementally build a :class:`Trace` (used by the generators).
+
+    Accepts both scalar appends (one instruction at a time) and bulk
+    numpy blocks (:meth:`extend`); segments of either kind interleave
+    freely and are concatenated by :meth:`build`.
+    """
 
     def __init__(self, name: str, suite: str) -> None:
         self.name = name
         self.suite = suite
+        #: closed segments: (pcs, addrs, flags) numpy triples.
+        self._segments: list = []
+        # open scalar segment
         self._pcs: list = []
         self._addrs: list = []
         self._flags: list = []
+        self._count = 0
 
     def __len__(self) -> int:
-        return len(self._pcs)
+        return self._count
 
     def add(self, pc: int, addr: int = 0, flags: int = 0) -> None:
         self._pcs.append(pc)
         self._addrs.append(addr)
         self._flags.append(flags)
+        self._count += 1
+
+    def extend(
+        self, pcs: np.ndarray, addrs: np.ndarray, flags: np.ndarray
+    ) -> None:
+        """Append a block of instructions as parallel numpy arrays."""
+        if not (len(pcs) == len(addrs) == len(flags)):
+            raise ValueError("extend() arrays must be parallel")
+        if len(pcs) == 0:
+            return
+        self._close_scalar_segment()
+        self._segments.append((
+            np.asarray(pcs, dtype=np.int64),
+            np.asarray(addrs, dtype=np.int64),
+            np.asarray(flags, dtype=np.uint8),
+        ))
+        self._count += len(pcs)
+
+    def _close_scalar_segment(self) -> None:
+        if self._pcs:
+            self._segments.append((
+                np.asarray(self._pcs, dtype=np.int64),
+                np.asarray(self._addrs, dtype=np.int64),
+                np.asarray(self._flags, dtype=np.uint8),
+            ))
+            self._pcs, self._addrs, self._flags = [], [], []
 
     def load(self, pc: int, addr: int, dependent: bool = False) -> None:
         f = FLAG_LOAD | (FLAG_DEP if dependent else 0)
@@ -156,11 +191,22 @@ class TraceBuilder:
         self.add(pc, 0, f)
 
     def build(self, metadata: dict = None) -> Trace:
+        self._close_scalar_segment()
+        if not self._segments:
+            parts = (np.empty(0, np.int64), np.empty(0, np.int64),
+                     np.empty(0, np.uint8))
+        elif len(self._segments) == 1:
+            parts = self._segments[0]
+        else:
+            parts = tuple(
+                np.concatenate([seg[col] for seg in self._segments])
+                for col in range(3)
+            )
         return Trace(
             name=self.name,
             suite=self.suite,
-            pcs=np.asarray(self._pcs, dtype=np.int64),
-            addrs=np.asarray(self._addrs, dtype=np.int64),
-            flags=np.asarray(self._flags, dtype=np.uint8),
+            pcs=parts[0],
+            addrs=parts[1],
+            flags=parts[2],
             metadata=metadata or {},
         )

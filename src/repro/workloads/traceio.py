@@ -14,7 +14,9 @@ metadata.  The format is versioned so later revisions stay loadable.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
+import zipfile
 from typing import Union
 
 import numpy as np
@@ -33,10 +35,16 @@ class TraceFormatError(ValueError):
 
 
 def save_trace(trace: Trace, path: PathLike) -> pathlib.Path:
-    """Write ``trace`` to ``path`` (``.npz`` appended if missing)."""
+    """Write ``trace`` to ``path`` (``.npz`` appended if missing).
+
+    The extension is appended to the *name*, never via
+    ``Path.with_suffix``: workload names are dotted
+    (``spec06.mcf_like.0``), and suffix surgery on multi-dot names
+    rewrites the wrong component (e.g. a trailing-dot name collapses).
+    """
     path = pathlib.Path(path)
     if path.suffix != ".npz":
-        path = path.with_suffix(path.suffix + ".npz")
+        path = path.with_name(path.name + ".npz")
     header = {
         "format_version": FORMAT_VERSION,
         "name": trace.name,
@@ -45,15 +53,27 @@ def save_trace(trace: Trace, path: PathLike) -> pathlib.Path:
         "num_instructions": len(trace),
     }
     path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez_compressed(
-        path,
-        pcs=trace.pcs,
-        addrs=trace.addrs,
-        flags=trace.flags,
-        **{_HEADER_KEY: np.frombuffer(
-            json.dumps(header).encode("utf-8"), dtype=np.uint8
-        )},
-    )
+    # Write-then-rename: concurrent readers (engine workers sharing a
+    # REPRO_TRACE_DIR) must never observe a torn archive.
+    tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+    try:
+        np.savez_compressed(
+            tmp,
+            pcs=trace.pcs,
+            addrs=trace.addrs,
+            flags=trace.flags,
+            **{_HEADER_KEY: np.frombuffer(
+                json.dumps(header).encode("utf-8"), dtype=np.uint8
+            )},
+        )
+        # savez appends .npz to names without it
+        written = tmp if tmp.exists() else tmp.with_name(tmp.name + ".npz")
+        os.replace(written, path)
+    except BaseException:
+        for leftover in (tmp, tmp.with_name(tmp.name + ".npz")):
+            if leftover.exists():
+                leftover.unlink()
+        raise
     return path
 
 
@@ -73,7 +93,9 @@ def load_trace(path: PathLike) -> Trace:
             pcs = archive["pcs"]
             addrs = archive["addrs"]
             flags = archive["flags"]
-    except (OSError, ValueError) as exc:
+    except (OSError, ValueError, KeyError, zipfile.BadZipFile) as exc:
+        # np.load raises BadZipFile on torn/truncated archives and
+        # KeyError on missing members; both mean "not a valid trace".
         if isinstance(exc, TraceFormatError):
             raise
         raise TraceFormatError(f"{path}: not a trace archive ({exc})") from exc

@@ -38,9 +38,14 @@ RUN_CASES = [
     ("ligra.BFS.0", "tlp"),
 ]
 
-#: Multi-core case: two workloads sharing LLC + DRAM under Athena.
+#: Multi-core cases: workloads sharing LLC + DRAM.  Covers the policy
+#: epoch-boundary path (athena/tlp) and the policy-free pure-interleave
+#: path, at two and four cores.
 MIX_CASES = [
     (("spec06.libquantum_like.0", "spec06.mcf_like.0"), "athena"),
+    (("spec06.mcf_like.0", "ligra.BFS.0"), "tlp"),
+    (("spec06.libquantum_like.0", "spec06.mcf_like.0",
+      "ligra.BFS.0", "spec06.xalancbmk_like.0"), "none"),
 ]
 
 TRACE_LENGTH = 6_000

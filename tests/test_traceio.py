@@ -35,6 +35,23 @@ class TestRoundTrip:
         assert path.suffix == ".npz"
         assert path.exists()
 
+    @pytest.mark.parametrize("name", [
+        "spec06.mcf_like.0",      # registry names are multi-dot
+        "google.sierra.a.3",
+        "v1.2",
+        "trailing.",              # Path.with_suffix would corrupt these
+        "trace.0.bak",
+    ])
+    def test_multi_dot_names_append_cleanly(self, tmp_path, name):
+        """``.npz`` is appended to the full name, never spliced into it."""
+        path = save_trace(make(), tmp_path / name)
+        assert path.name == name + ".npz"
+        assert load_trace(path).name == "io-test"
+
+    def test_existing_npz_suffix_not_doubled(self, tmp_path):
+        path = save_trace(make(), tmp_path / "t.npz")
+        assert path.name == "t.npz"
+
     def test_nested_directory_created(self, tmp_path):
         path = save_trace(make(), tmp_path / "a" / "b" / "t.npz")
         assert path.exists()
