@@ -7,18 +7,24 @@ the simulator — here, a simple "accuracy-gated" policy that enables each
 mechanism only while its measured accuracy clears a bar, as a contrast to
 Athena's learned policy.
 
+The ``@register_policy`` decorator adds the class to the unified
+component registry *without editing any core file*: after that, the
+name works everywhere a built-in policy name does — ``RunSpec``,
+``make_policy``, spec files, the CLI — as long as this module is
+imported first (plugin policies are process-local, so run with the
+default serial engine or make the module importable by workers).
+
 Run:
     python examples/custom_policy.py
 """
 
-from repro.experiments.configs import CacheDesign, build_hierarchy
-from repro.experiments.runner import make_policy
+from repro.api import RunSpec, Session, register_policy
 from repro.policies.base import CoordinationAction, CoordinationPolicy
-from repro.sim.simulator import Simulator
 from repro.sim.stats import EpochTelemetry
-from repro.workloads.suites import build_trace, find_workload
 
 
+@register_policy("accuracy_gated",
+                 description="enable mechanisms only while accurate")
 class AccuracyGatedPolicy(CoordinationPolicy):
     """Enable the prefetcher/OCP only while they are measurably accurate.
 
@@ -57,31 +63,19 @@ class AccuracyGatedPolicy(CoordinationPolicy):
         return action
 
 
-def run_policy(trace, design, policy, label):
-    hierarchy = build_hierarchy(design)
-    result = Simulator(trace, hierarchy, policy=policy,
-                       epoch_length=200).run()
-    print(f"  {label:<22} ipc={result.ipc:.4f}")
-    return result.ipc
-
-
 def main() -> None:
-    design = CacheDesign.cd1()
-    for workload in ("spec06.libquantum_like.0", "spec06.mcf_like.0",
-                     "ligra.BFS.0"):
-        trace = build_trace(find_workload(workload), 16_000)
-        print(f"{workload}:")
-        base = run_policy(trace, design.without_mechanisms(), None,
-                          "baseline")
-        for label, policy in (
-            ("naive", None),
-            ("accuracy-gated", AccuracyGatedPolicy()),
-            ("athena", make_policy("athena")),
-        ):
-            d = design if label != "baseline" else design.without_mechanisms()
-            ipc = run_policy(trace, d, policy, label)
-            print(f"    -> speedup {ipc / base:.3f}")
-        print()
+    with Session() as session:
+        for workload in ("spec06.libquantum_like.0", "spec06.mcf_like.0",
+                         "ligra.BFS.0"):
+            print(f"{workload}:")
+            for policy in ("naive", "accuracy_gated", "athena"):
+                result = session.run(RunSpec(
+                    workload=workload, design="cd1", policy=policy,
+                    trace_length=16_000, epoch_length=200,
+                ))
+                print(f"  {policy:<16} ipc={result.ipc:.4f} "
+                      f"speedup={result.speedup:.3f}")
+            print()
 
 
 if __name__ == "__main__":

@@ -17,11 +17,22 @@ The package is organised as:
 * :mod:`repro.experiments` — cache designs CD1-CD4 and the per-figure
   experiment harness.
 
+* :mod:`repro.api` — the typed, declarative experiment SDK: spec
+  dataclasses with JSON/TOML round-trips, the unified component
+  registry, and the Session execution facade.
+
 Quickstart::
 
     from repro import quick_run
     result = quick_run("ligra.BFS.0", policy="athena")
     print(result.ipc)
+
+or, through the SDK::
+
+    from repro.api import RunSpec, Session
+    with Session() as session:
+        print(session.run(RunSpec(workload="ligra.BFS.0",
+                                  policy="athena")).speedup)
 """
 
 from __future__ import annotations
@@ -53,7 +64,26 @@ __all__ = [
     "TlpPolicy",
     "QuickRunResult",
     "quick_run",
+    # lazily re-exported from repro.api (PEP 562):
+    "ExperimentSpec",
+    "MixSpec",
+    "RunSpec",
+    "Session",
+    "SweepSpec",
 ]
+
+#: SDK names resolved on first access so ``import repro`` stays light.
+_API_EXPORTS = frozenset(
+    {"Session", "RunSpec", "MixSpec", "SweepSpec", "ExperimentSpec"}
+)
+
+
+def __getattr__(name: str):
+    if name in _API_EXPORTS:
+        from . import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class QuickRunResult:
@@ -90,17 +120,12 @@ def quick_run(workload: str = "ligra.BFS.0", policy: str = "athena",
     ``athena`` they become :class:`AthenaConfig` fields, e.g.
     ``{"seed": 7}``); unsupported options raise :exc:`ValueError`.
     """
-    from .experiments.configs import CacheDesign, build_hierarchy
+    from .api.registry import make_design
+    from .experiments.configs import build_hierarchy
     from .policies.registry import make_policy
     from .workloads.suites import build_trace, find_workload
 
-    try:
-        design_factory = getattr(CacheDesign, design.lower())
-    except AttributeError:
-        raise ValueError(
-            f"unknown design {design!r}; expected cd1/cd2/cd3/cd4"
-        ) from None
-    cache_design = design_factory()
+    cache_design = make_design(design)
     spec = find_workload(workload)
     epoch_length = max(100, length // 40)
     result = Simulator(

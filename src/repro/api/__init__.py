@@ -1,0 +1,70 @@
+"""repro.api — the typed, declarative experiment SDK.
+
+The single programmatic front door to the toolkit: typed specs
+(:class:`RunSpec`, :class:`MixSpec`, :class:`SweepSpec`,
+:class:`FigureSpec`, :class:`ExperimentSpec`) that serialize to
+JSON/TOML and lower onto the parallel engine's content-addressed
+requests; a unified schema-validated :data:`registry` of policies,
+prefetchers, OCPs, cache designs, and workload suites (with
+:func:`register_policy`-style plugin decorators); and a
+:class:`Session` facade with blocking, streaming, and whole-experiment
+execution.  The CLI is a thin shell over this module.
+"""
+
+from .params import coerce_value, normalize_params, parse_assignments
+from .registry import (
+    ComponentRegistry,
+    ParamSpec,
+    make_design,
+    register_design,
+    register_ocp,
+    register_policy,
+    register_prefetcher,
+    registry,
+    schema_from_callable,
+)
+from .results import (
+    ExperimentResult,
+    FigureOutcome,
+    MixResult,
+    RunResult,
+    SweepResult,
+)
+from .session import Session
+from .spec import (
+    SPEC_SCHEMA,
+    ExperimentSpec,
+    FigureSpec,
+    MixSpec,
+    RunSpec,
+    SpecError,
+    SweepSpec,
+)
+
+__all__ = [
+    "ComponentRegistry",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "FigureOutcome",
+    "FigureSpec",
+    "MixResult",
+    "MixSpec",
+    "ParamSpec",
+    "RunResult",
+    "RunSpec",
+    "SPEC_SCHEMA",
+    "Session",
+    "SpecError",
+    "SweepResult",
+    "SweepSpec",
+    "coerce_value",
+    "make_design",
+    "normalize_params",
+    "parse_assignments",
+    "register_design",
+    "register_ocp",
+    "register_policy",
+    "register_prefetcher",
+    "registry",
+    "schema_from_callable",
+]

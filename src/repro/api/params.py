@@ -1,0 +1,86 @@
+"""Shared parameter parsing for the CLI and spec files.
+
+One coercion path for every ``KEY=VALUE`` component option: the CLI's
+``--policy-config alpha=0.4`` and a spec file's ``policy_params`` list
+must resolve to identical python values, or two spellings of the same
+experiment would hash to different engine keys.  Values parse as python
+literals when possible (``0.4`` → float, ``(1, 2)`` → tuple, ``'x'`` →
+str) and fall back to the raw string otherwise (``cd1`` → ``"cd1"``).
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Dict, Iterable, Mapping, Union
+
+
+def canonical_value(value: object) -> object:
+    """Canonicalize one parameter value for storage in a spec.
+
+    Tuples become lists and dataclasses (e.g. ``RewardWeights``) become
+    plain tables, so a spec holds exactly what its JSON/TOML form would
+    reload — object-built and file-built specs compare equal and hash
+    to the same content key.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: canonical_value(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, (list, tuple)):
+        return [canonical_value(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): canonical_value(v) for k, v in value.items()}
+    return value
+
+
+def coerce_value(text: str) -> object:
+    """``KEY=VALUE`` values: python literals when possible, else strings."""
+    try:
+        return ast.literal_eval(text)
+    except (ValueError, SyntaxError):
+        return text
+
+
+def parse_assignments(
+    items: Iterable[str], option: str = "KEY=VALUE option"
+) -> Dict[str, object]:
+    """Parse ``["alpha=0.4", "seed=7"]`` into a coerced dict.
+
+    Raises :exc:`ValueError` (naming ``option``) on anything that is not
+    a ``KEY=VALUE`` pair, so CLI flags and spec files report malformed
+    entries identically.
+    """
+    out: Dict[str, object] = {}
+    for item in items:
+        key, sep, value = str(item).partition("=")
+        if not sep or not key:
+            raise ValueError(f"{option} expects KEY=VALUE, got {item!r}")
+        out[key] = coerce_value(value)
+    return out
+
+
+def normalize_params(
+    params: Union[Mapping[str, object], Iterable[str], None],
+    option: str = "params",
+) -> Dict[str, object]:
+    """Accept either a mapping or a ``KEY=VALUE`` string list.
+
+    Spec files usually carry native typed tables (``{alpha = 0.4}``) but
+    may also use the CLI's string form (``["alpha=0.4"]``); both resolve
+    through the same coercion.
+    """
+    if params is None:
+        return {}
+    if isinstance(params, Mapping):
+        return {str(k): canonical_value(v) for k, v in params.items()}
+    if isinstance(params, str):
+        raise ValueError(
+            f"{option} must be a table or a list of KEY=VALUE strings, "
+            f"got the bare string {params!r}"
+        )
+    return {
+        key: canonical_value(value)
+        for key, value in parse_assignments(params, option=option).items()
+    }

@@ -1,0 +1,572 @@
+"""Unified component registry: policies, prefetchers, OCPs, cache
+designs, and workload suites behind one schema-validated factory.
+
+Before this module each component family had its own shape — policies a
+dict with bespoke athena handling, prefetchers a validation-free dict,
+workload suites plain functions — so every consumer (CLI, spec files,
+figure drivers) re-implemented name validation and error wording.  The
+:class:`ComponentRegistry` centralizes all of it:
+
+* ``create(kind, name, **params)`` validates the name *and* the keyword
+  parameters against the component's schema, raising :exc:`ValueError`
+  with a stable message on anything unknown,
+* ``schema(kind, name)`` exposes per-component parameter schemas
+  (derived from constructor signatures, or from
+  :class:`~repro.core.config.AthenaConfig` for athena) so ``repro list``
+  and spec validation share one source of truth, and
+* decorator hooks (:func:`register_policy`, :func:`register_prefetcher`,
+  …) let plugins — e.g. ``examples/custom_policy.py`` — add components
+  without editing core files.  Registrations also update the legacy
+  family dicts (``POLICY_FACTORIES``, ``PREFETCHERS``, ``OCPS``) so
+  in-process consumers of those stay consistent.  Note that worker
+  *processes* re-import the library from scratch: a plugin component is
+  only visible to a parallel engine if its defining module is importable
+  by workers; otherwise run with ``jobs=1``.
+
+The legacy entry points (``make_policy``, ``make_prefetcher``,
+``make_ocp``) now delegate here, which is what brought
+``make_prefetcher`` to parity with ``make_policy`` (kwargs accepted,
+``ValueError`` on unknown names/options).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import inspect
+from dataclasses import MISSING, dataclass, fields as dataclass_fields
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: sentinel default for parameters that must be supplied by the caller.
+REQUIRED = object()
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """One constructor parameter of a registered component."""
+
+    name: str
+    default: object = REQUIRED
+    annotation: str = ""
+
+    @property
+    def required(self) -> bool:
+        return self.default is REQUIRED
+
+    def describe(self) -> str:
+        if self.required:
+            return f"{self.name}=<required>"
+        return f"{self.name}={self.default!r}"
+
+
+def _annotation_name(annotation) -> str:
+    if annotation is inspect.Parameter.empty:
+        return ""
+    if isinstance(annotation, str):
+        return annotation
+    return getattr(annotation, "__name__", str(annotation))
+
+
+def schema_from_callable(factory: Callable) -> Dict[str, ParamSpec]:
+    """Derive a parameter schema from a constructor/factory signature."""
+    try:
+        signature = inspect.signature(factory)
+    except (TypeError, ValueError):
+        return {}
+    out: Dict[str, ParamSpec] = {}
+    for param in signature.parameters.values():
+        if param.name == "self":
+            continue
+        if param.kind in (inspect.Parameter.VAR_POSITIONAL,
+                          inspect.Parameter.VAR_KEYWORD):
+            continue
+        default = REQUIRED if param.default is inspect.Parameter.empty \
+            else param.default
+        out[param.name] = ParamSpec(
+            name=param.name, default=default,
+            annotation=_annotation_name(param.annotation),
+        )
+    return out
+
+
+def _value_type_ok(value: object, default: object) -> bool:
+    """Loose value check against the parameter's default type.
+
+    Only scalar defaults are enforced (int promotes to float, lists
+    stand in for tuple defaults); required, ``None``, and structured
+    defaults accept anything — the constructor is their arbiter.
+    """
+    if default is REQUIRED or default is None or value is None:
+        return True
+    if isinstance(default, bool):
+        return isinstance(value, bool)
+    if isinstance(default, float):
+        return isinstance(value, (int, float)) \
+            and not isinstance(value, bool)
+    if isinstance(default, int):
+        return isinstance(value, int) and not isinstance(value, bool)
+    if isinstance(default, str):
+        return isinstance(value, str)
+    if isinstance(default, tuple):
+        return isinstance(value, (list, tuple))
+    return True
+
+
+def _accepts_any_keyword(factory: Callable) -> bool:
+    """Whether the factory signature carries ``**kwargs``."""
+    try:
+        signature = inspect.signature(factory)
+    except (TypeError, ValueError):
+        return True  # unintrospectable: don't reject anything
+    return any(
+        param.kind is inspect.Parameter.VAR_KEYWORD
+        for param in signature.parameters.values()
+    )
+
+
+def _is_dataclass_default(default: object) -> bool:
+    return dataclasses.is_dataclass(default) \
+        and not isinstance(default, type)
+
+
+def _coerce_dataclass_value(kind, name, key, value, default):
+    """Rebuild a dataclass-typed parameter from its serialized table.
+
+    Spec files carry config objects (HpacThresholds, RewardWeights, …)
+    as plain tables; every component gets the same dict→dataclass
+    reconstruction athena's config enjoys, and a bad table fails here —
+    eagerly — rather than as an AttributeError inside a pool worker.
+    """
+    try:
+        return type(default)(**value)
+    except TypeError as exc:
+        raise ValueError(
+            f"invalid value for option {key!r} of {kind} {name!r}: {exc}"
+        ) from None
+
+
+def schema_from_dataclass(cls) -> Dict[str, ParamSpec]:
+    """Derive a schema from a (config) dataclass's fields."""
+    out: Dict[str, ParamSpec] = {}
+    for f in dataclass_fields(cls):
+        if f.default is not MISSING:
+            default: object = f.default
+        elif f.default_factory is not MISSING:  # type: ignore[misc]
+            default = f.default_factory()  # type: ignore[misc]
+        else:
+            default = REQUIRED
+        out[f.name] = ParamSpec(
+            name=f.name, default=default,
+            annotation=_annotation_name(f.type),
+        )
+    return out
+
+
+@dataclass
+class Component:
+    """One registered component: factory + parameter schema."""
+
+    kind: str
+    name: str
+    factory: Callable
+    schema: Dict[str, ParamSpec]
+    description: str = ""
+    #: a ``**kwargs`` factory accepts option names beyond its schema,
+    #: so unknown-name rejection must be skipped for it.
+    open_options: bool = False
+    #: overrides the default unknown-option message (athena/none keep
+    #: their historical, test-pinned wording).
+    options_error: Optional[Callable[[List[str]], str]] = None
+
+    def unknown_options_message(self, bad: Sequence[str]) -> str:
+        if self.options_error is not None:
+            return self.options_error(sorted(bad))
+        return (
+            f"unsupported options {sorted(bad)} for {self.kind} "
+            f"{self.name!r}; valid: {sorted(self.schema) or '(none)'}"
+        )
+
+
+class ComponentRegistry:
+    """Name → factory registry across every component kind."""
+
+    def __init__(self) -> None:
+        self._components: Dict[Tuple[str, str], Component] = {}
+        #: per-kind hooks that surface legacy-dict entries added behind
+        #: the registry's back (tests and older plugins mutate
+        #: POLICY_FACTORIES & co. directly).
+        self._fallbacks: Dict[str, Callable[[str], Optional[Component]]] = {}
+        self._fallback_names: Dict[str, Callable[[], Iterable[str]]] = {}
+
+    # -- registration ------------------------------------------------------
+
+    def register(
+        self,
+        kind: str,
+        name: str,
+        factory: Callable,
+        schema: Optional[Dict[str, ParamSpec]] = None,
+        description: str = "",
+        options_error: Optional[Callable[[List[str]], str]] = None,
+        replace: bool = False,
+    ) -> Component:
+        key = (kind, name)
+        if key in self._components and not replace:
+            raise ValueError(f"{kind} {name!r} is already registered")
+        component = Component(
+            kind=kind,
+            name=name,
+            factory=factory,
+            schema=schema_from_callable(factory) if schema is None else schema,
+            description=description,
+            # an explicit schema is authoritative (closed); a derived
+            # one stays open when the factory takes **kwargs
+            open_options=(schema is None
+                          and _accepts_any_keyword(factory)),
+            options_error=options_error,
+        )
+        self._components[key] = component
+        return component
+
+    def set_fallback(
+        self,
+        kind: str,
+        hook: Callable[[str], Optional[Component]],
+        names: Optional[Callable[[], Iterable[str]]] = None,
+    ) -> None:
+        """Install a legacy-dict resolver for ``kind``.
+
+        ``names`` enumerates the same source so listings and
+        unknown-name error messages include everything that would
+        actually resolve.
+        """
+        self._fallbacks[kind] = hook
+        if names is not None:
+            self._fallback_names[kind] = names
+
+    # -- lookup ------------------------------------------------------------
+
+    def kinds(self) -> List[str]:
+        return sorted({kind for kind, _ in self._components})
+
+    def names(self, kind: str) -> List[str]:
+        out = {name for k, name in self._components if k == kind}
+        names_hook = self._fallback_names.get(kind)
+        if names_hook is not None:
+            out.update(names_hook())
+        return sorted(out)
+
+    def __contains__(self, key: Tuple[str, str]) -> bool:
+        kind, name = key
+        return self._lookup(kind, name) is not None
+
+    def _lookup(self, kind: str, name: str) -> Optional[Component]:
+        # Precedence: explicitly registered components (built-ins,
+        # decorator plugins) win over legacy-dict state — mutating or
+        # deleting a *built-in's* dict entry does not affect it.  The
+        # fallback covers names known only to the legacy dict, and its
+        # hits are NOT cached: the hook re-reads the dict every time,
+        # so deleting such an entry (test teardown, monkeypatch) makes
+        # the name unknown again immediately.
+        component = self._components.get((kind, name))
+        if component is None:
+            hook = self._fallbacks.get(kind)
+            if hook is not None:
+                component = hook(name)
+        return component
+
+    def get(self, kind: str, name: str) -> Component:
+        component = self._lookup(kind, name)
+        if component is None:
+            raise ValueError(
+                f"unknown {kind} {name!r}; valid: {self.names(kind)}"
+            )
+        return component
+
+    def schema(self, kind: str, name: str) -> Dict[str, ParamSpec]:
+        return dict(self.get(kind, name).schema)
+
+    def components(self, kind: str) -> List[Component]:
+        return [self.get(kind, name) for name in self.names(kind)]
+
+    # -- validation + construction ----------------------------------------
+
+    def validate(self, kind: str, name: str, params: dict) -> Component:
+        """Check ``name`` and ``params`` without instantiating anything.
+
+        Validates option *names* against the schema and option *values*
+        against each parameter's default type (ints are acceptable
+        floats; ``None`` is always allowed for optional components), so
+        a spec file's quoting mistake — ``discount = "0.98"`` — fails
+        here, before any simulation starts, not inside a pool worker.
+        """
+        component = self.get(kind, name)
+        if not component.open_options:
+            bad = [key for key in params if key not in component.schema]
+            if bad:
+                raise ValueError(component.unknown_options_message(bad))
+        missing = [
+            key for key, spec in component.schema.items()
+            if spec.required and key not in params
+        ]
+        if missing:
+            raise ValueError(
+                f"missing required options {missing} for {kind} {name!r}"
+            )
+        for key, value in params.items():
+            if key not in component.schema:
+                continue  # open-schema extra: the factory is the arbiter
+            default = component.schema[key].default
+            if _is_dataclass_default(default) and isinstance(value, dict):
+                # eagerly prove the table reconstructs (discarded here,
+                # rebuilt for real in create())
+                _coerce_dataclass_value(kind, name, key, value, default)
+            elif not _value_type_ok(value, default):
+                raise ValueError(
+                    f"invalid value for option {key!r} of {kind} "
+                    f"{name!r}: expected {type(default).__name__}, got "
+                    f"{type(value).__name__} ({value!r})"
+                )
+        return component
+
+    def create(self, kind: str, name: str, **params):
+        """Instantiate a component, validating name and parameters."""
+        component = self.validate(kind, name, params)
+        built = {}
+        for key, value in params.items():
+            default = component.schema[key].default \
+                if key in component.schema else REQUIRED
+            if _is_dataclass_default(default) and isinstance(value, dict):
+                value = _coerce_dataclass_value(kind, name, key, value,
+                                                default)
+            built[key] = value
+        try:
+            return component.factory(**built)
+        except TypeError:
+            # Backstop for signatures inspect could not see through —
+            # but only call-binding mismatches; a TypeError raised
+            # *inside* the constructor is a real bug and must surface.
+            try:
+                inspect.signature(component.factory).bind(**built)
+            except TypeError:
+                raise ValueError(
+                    component.unknown_options_message(list(params))
+                ) from None
+            except ValueError:
+                pass  # unintrospectable factory: can't classify
+            raise
+
+
+# ---------------------------------------------------------------------------
+# the default registry, pre-populated from the component families
+# ---------------------------------------------------------------------------
+
+registry = ComponentRegistry()
+
+
+def build_athena_config(params: dict):
+    """The one dict→AthenaConfig path (registry and spec layer both).
+
+    Serialization turns tuples into lists and ``RewardWeights`` into a
+    table; undo both so every entry point builds the identical
+    (hash-identical) config from the same parameters.
+    """
+    from ..core.config import AthenaConfig, RewardWeights
+
+    kwargs = {}
+    for key, value in params.items():
+        if key == "reward_weights" and isinstance(value, dict):
+            value = RewardWeights(**value)
+        elif isinstance(value, list):
+            value = tuple(value)
+        kwargs[key] = value
+    try:
+        return AthenaConfig(**kwargs)
+    except TypeError:
+        raise ValueError(
+            f"unsupported athena options {sorted(kwargs)}; valid: "
+            f"{sorted(AthenaConfig.__dataclass_fields__)}"
+        ) from None
+
+
+def _register_policies() -> None:
+    from ..core.config import AthenaConfig
+    from ..policies.athena import AthenaPolicy
+    from ..policies.registry import POLICY_FACTORIES
+
+    def make_athena(**kwargs):
+        if not kwargs:
+            return AthenaPolicy()
+        return AthenaPolicy(build_athena_config(kwargs))
+
+    def athena_error(bad: List[str]) -> str:
+        return (
+            f"unsupported athena options {bad}; valid: "
+            f"{sorted(AthenaConfig.__dataclass_fields__)}"
+        )
+
+    def make_none(**kwargs):
+        return None
+
+    def none_error(bad: List[str]) -> str:
+        return f"policy 'none' accepts no options; got {bad}"
+
+    registry.register(
+        "policy", "athena", make_athena,
+        schema=schema_from_dataclass(AthenaConfig),
+        description="Athena SARSA coordination (the paper's policy)",
+        options_error=athena_error, replace=True,
+    )
+    registry.register(
+        "policy", "none", make_none, schema={},
+        description="no coordination: every mechanism always on",
+        options_error=none_error, replace=True,
+    )
+    for name, factory in POLICY_FACTORIES.items():
+        if name in ("athena", "none"):
+            continue
+        registry.register("policy", name, factory, replace=True)
+
+    _install_legacy_fallback("policy", POLICY_FACTORIES)
+
+
+def _install_legacy_fallback(kind: str, legacy: Dict[str, Callable]) -> None:
+    """One fallback resolver per (kind, legacy dict) pair.
+
+    Surfaces entries added to the legacy dict behind the registry's
+    back — same Component shape everywhere, so fallback semantics can
+    only change in one place.
+    """
+    def hook(name: str) -> Optional[Component]:
+        factory = legacy.get(name)
+        if factory is None:
+            return None
+        return Component(kind, name, factory,
+                         schema_from_callable(factory),
+                         open_options=_accepts_any_keyword(factory))
+
+    registry.set_fallback(kind, hook, names=legacy.keys)
+
+
+def _register_prefetchers() -> None:
+    from ..prefetchers import PREFETCHERS
+
+    for name, cls in PREFETCHERS.items():
+        registry.register("prefetcher", name, cls, replace=True)
+    _install_legacy_fallback("prefetcher", PREFETCHERS)
+
+
+def _register_ocps() -> None:
+    from ..ocp import OCPS
+
+    for name, cls in OCPS.items():
+        registry.register("ocp", name, cls, replace=True)
+    _install_legacy_fallback("ocp", OCPS)
+
+
+def _register_designs() -> None:
+    from ..experiments.configs import CacheDesign
+
+    presets = {
+        "cd1": "OCP + 1 L2C prefetcher (POPET + Pythia)",
+        "cd2": "OCP + 1 L1D prefetcher (POPET + IPCP)",
+        "cd3": "OCP + 2 L2C prefetchers (POPET + SMS + Pythia)",
+        "cd4": "OCP + 1 L1D + 1 L2C prefetcher (POPET + IPCP + Pythia)",
+    }
+    for name, description in presets.items():
+        registry.register("design", name, getattr(CacheDesign, name),
+                          description=description, replace=True)
+
+
+def _register_suites() -> None:
+    from ..workloads.suites import (
+        evaluation_workloads,
+        google_workloads,
+        tuning_workloads,
+    )
+
+    registry.register(
+        "suite", "evaluation", evaluation_workloads, schema={},
+        description="the 100 evaluation workloads (paper Table 6)",
+        replace=True,
+    )
+    registry.register(
+        "suite", "tuning", tuning_workloads, schema={},
+        description="20 DSE tuning workloads, disjoint from evaluation",
+        replace=True,
+    )
+    registry.register(
+        "suite", "google", google_workloads, schema={},
+        description="unseen datacenter-like workloads (paper Figure 21)",
+        replace=True,
+    )
+
+
+def _populate_default_registry() -> None:
+    _register_policies()
+    _register_prefetchers()
+    _register_ocps()
+    _register_designs()
+    _register_suites()
+
+
+_populate_default_registry()
+
+
+# ---------------------------------------------------------------------------
+# plugin decorators
+# ---------------------------------------------------------------------------
+
+def _plugin_decorator(kind: str, legacy_import: Optional[Callable]):
+    """Build one ``@register_<kind>`` decorator.
+
+    All four share the same behavior: register with the unified
+    registry (refusing to clobber an existing name unless
+    ``replace=True``) and mirror into the kind's legacy dict when one
+    exists, so in-process consumers of those dicts stay consistent.
+    """
+    def register_fn(name: str, description: str = "",
+                    replace: bool = False):
+        def decorate(factory):
+            registry.register(kind, name, factory,
+                              description=description, replace=replace)
+            if legacy_import is not None:
+                legacy_import()[name] = factory
+            return factory
+        return decorate
+    return register_fn
+
+
+def _policy_dict():
+    from ..policies.registry import POLICY_FACTORIES
+
+    return POLICY_FACTORIES
+
+
+def _prefetcher_dict():
+    from ..prefetchers import PREFETCHERS
+
+    return PREFETCHERS
+
+
+def _ocp_dict():
+    from ..ocp import OCPS
+
+    return OCPS
+
+
+#: Class/factory decorator adding a coordination policy by name::
+#:
+#:     @register_policy("accuracy_gated")
+#:     class AccuracyGatedPolicy(CoordinationPolicy): ...
+register_policy = _plugin_decorator("policy", _policy_dict)
+#: Class/factory decorator adding a prefetcher by name.
+register_prefetcher = _plugin_decorator("prefetcher", _prefetcher_dict)
+#: Class/factory decorator adding an off-chip predictor by name.
+register_ocp = _plugin_decorator("ocp", _ocp_dict)
+#: Factory decorator adding a cache-design preset by name.
+register_design = _plugin_decorator("design", None)
+
+
+def make_design(name: str, **params):
+    """Instantiate a cache design preset (``cd1`` … ``cd4`` or plugin)."""
+    return registry.create("design", name.lower(), **params)

@@ -4,7 +4,9 @@ Commands
 --------
 
 ``list``
-    Enumerate registered workloads, policies, prefetchers, OCPs, designs.
+    Enumerate registered workloads and every component family —
+    policies, prefetchers, OCPs, cache designs — with their parameter
+    schemas.
 ``run``
     Simulate one workload under one policy and print the result row.
 ``figure``
@@ -15,33 +17,38 @@ Commands
 ``sweep``
     Run a workloads × designs × policies cross-product and print the
     speedup matrix.
+``exp``
+    Execute (``exp run``) or validate (``exp validate``) a declarative
+    experiment spec file (TOML or JSON) through the SDK.
 ``classify``
     Split the evaluation workloads into prefetcher-friendly/adverse.
 
-The CLI is a thin veneer over the library: everything it prints is
-available programmatically through :mod:`repro.experiments`, and the
-``figures``/``sweep`` commands are thin drivers of
-:class:`repro.engine.api.Engine` (``--jobs N`` fans simulations out
-across N worker processes; ``--store PATH`` persists every result so a
-rerun executes nothing).
+The CLI is a thin shell over :mod:`repro.api`: every command builds the
+same typed specs (:class:`~repro.api.RunSpec`,
+:class:`~repro.api.SweepSpec`, …) a library consumer would, and resolves
+them through a :class:`~repro.api.Session` — so a CLI invocation and the
+equivalent spec file produce identical engine content-hash keys and
+share one result store (``--jobs N`` fans misses across N worker
+processes; ``--store PATH`` persists every result so a rerun executes
+nothing).
 """
 
 from __future__ import annotations
 
-import argparse
-import ast
 import sys
 from typing import List, Optional
 
 
-def _build_parser() -> argparse.ArgumentParser:
+def _build_parser():
+    import argparse
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Athena (HPCA 2026) reproduction toolkit",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list workloads, policies, and designs")
+    sub.add_parser("list", help="list workloads, components, and schemas")
 
     run = sub.add_parser("run", help="simulate one workload")
     run.add_argument("workload", help="registry name, e.g. ligra.BFS.0")
@@ -82,6 +89,21 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="comma-separated policy registry names")
     _add_engine_args(sweep)
 
+    exp = sub.add_parser(
+        "exp", help="declarative experiment specs (TOML/JSON)"
+    )
+    exp_sub = exp.add_subparsers(dest="exp_command", required=True)
+    exp_run = exp_sub.add_parser(
+        "run", help="execute a whole experiment from one spec file"
+    )
+    exp_run.add_argument("spec_path", metavar="SPEC",
+                         help="path to a .toml or .json experiment spec")
+    _add_engine_args(exp_run)
+    exp_validate = exp_sub.add_parser(
+        "validate", help="validate a spec file and print its plan"
+    )
+    exp_validate.add_argument("spec_path", metavar="SPEC")
+
     sub.add_parser("classify",
                    help="friendly/adverse split of the workload pool")
 
@@ -116,7 +138,7 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _add_engine_args(parser: argparse.ArgumentParser) -> None:
+def _add_engine_args(parser) -> None:
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for simulation misses "
                              "(default 1: in-process)")
@@ -127,11 +149,15 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
                         help="run without a persistent result store")
 
 
-def _make_engine(args):
-    from .engine import Engine, ResultStore
+def _make_session(args):
+    """A Session wired to the command's --jobs/--store flags."""
+    from .api import Session
+    from .engine.store import default_store_path
 
-    store = None if args.no_store else ResultStore(args.store)
-    return Engine(store=store, jobs=args.jobs, progress=_progress)
+    # Session coerces a path to a ResultStore; None means no store, so
+    # the default path must be made explicit when --store is omitted.
+    store = None if args.no_store else (args.store or default_store_path())
+    return Session(store=store, jobs=args.jobs, progress=_progress)
 
 
 def _progress(done: int, total: int, key: str) -> None:
@@ -146,16 +172,26 @@ def _fail(message: str) -> int:
     return 2
 
 
+def _split(text: str) -> List[str]:
+    return [item.strip() for item in text.split(",") if item.strip()]
+
+
 def _cmd_list() -> int:
-    from .ocp import OCPS
-    from .policies.registry import POLICY_FACTORIES
-    from .prefetchers import PREFETCHERS
+    from .api.registry import registry
     from .workloads.suites import evaluation_workloads, google_workloads
 
-    print("policies:   ", ", ".join(sorted(POLICY_FACTORIES)))
-    print("prefetchers:", ", ".join(sorted(PREFETCHERS)))
-    print("ocps:       ", ", ".join(sorted(OCPS)))
-    print("designs:    cd1 cd2 cd3 cd4")
+    print("policies:   ", ", ".join(registry.names("policy")))
+    print("prefetchers:", ", ".join(registry.names("prefetcher")))
+    print("ocps:       ", ", ".join(registry.names("ocp")))
+    print("designs:    ", " ".join(registry.names("design")))
+    print()
+    print("component parameter schemas:")
+    for kind in ("policy", "prefetcher", "ocp", "design"):
+        for component in registry.components(kind):
+            params = ", ".join(
+                spec.describe() for spec in component.schema.values()
+            ) or "(no options)"
+            print(f"  {kind + ' ' + component.name:24s} {params}")
     print()
     print(f"evaluation workloads ({len(evaluation_workloads())}):")
     for spec in evaluation_workloads():
@@ -166,23 +202,14 @@ def _cmd_list() -> int:
     return 0
 
 
-def _parse_option_value(text: str):
-    """KEY=VALUE values: python literals when possible, else strings."""
-    try:
-        return ast.literal_eval(text)
-    except (ValueError, SyntaxError):
-        return text
-
-
 def _cmd_run(args) -> int:
     from . import quick_run
+    from .api.params import parse_assignments
 
-    options = {}
-    for item in args.policy_config:
-        key, sep, value = item.partition("=")
-        if not sep or not key:
-            return _fail(f"--policy-config expects KEY=VALUE, got {item!r}")
-        options[key] = _parse_option_value(value)
+    try:
+        options = parse_assignments(args.policy_config, "--policy-config")
+    except ValueError as exc:
+        return _fail(str(exc))
     if args.seed is not None:
         options["seed"] = args.seed
     try:
@@ -225,114 +252,96 @@ def _cmd_figure(figure_id: str) -> int:
 
 
 def _cmd_figures(args) -> int:
-    from .experiments.figures import FIGURES
-    from .experiments.runner import ExperimentContext
+    from .api import FigureSpec, SpecError
 
-    if args.all:
-        figure_ids = list(FIGURES)
-    else:
-        figure_ids = list(args.figure_ids)
-    if not figure_ids:
+    if not args.figure_ids and not args.all:
         return _fail("no figures requested (name some or pass --all)")
-    unknown = [fid for fid in figure_ids if fid not in FIGURES]
-    if unknown:
-        known = ", ".join(sorted(FIGURES))
-        return _fail(f"unknown figures {unknown}; known: {known}")
     try:
-        engine = _make_engine(args)
+        spec = FigureSpec(figures=list(args.figure_ids), all=args.all)
+    except SpecError as exc:
+        return _fail(str(exc))
+    try:
+        session = _make_session(args)
     except ValueError as exc:  # e.g. --store pointing at a non-store file
         return _fail(str(exc))
     try:
-        ctx = ExperimentContext(engine=engine)
-        for fid in figure_ids:
-            print(FIGURES[fid](ctx).format_table())
+        for outcome in session.figures(spec):
+            print(outcome.format_table())
             print()
-        print(engine.counters.summary())
+        print(session.counters.summary())
     finally:
-        engine.close()
+        session.close()
     return 0
 
 
 def _cmd_sweep(args) -> int:
-    from .experiments.configs import CacheDesign
-    from .experiments.figures import FigureResult
-    from .experiments.runner import ExperimentContext
-    from .policies.registry import POLICY_FACTORIES
-    from .workloads.suites import find_workload
+    from .api import SweepSpec
 
-    policies = [p.strip() for p in args.policies.split(",") if p.strip()]
-    bad = [p for p in policies if p not in POLICY_FACTORIES]
-    if bad:
-        return _fail(f"unknown policies {bad}; valid: "
-                     f"{sorted(POLICY_FACTORIES)}")
-    designs = []
-    for name in (d.strip() for d in args.designs.split(",") if d.strip()):
-        factory = getattr(CacheDesign, name.lower(), None)
-        if factory is None:
-            return _fail(f"unknown design {name!r}; valid: cd1 cd2 cd3 cd4")
-        designs.append((name.lower(), factory()))
-    if not designs or not policies:
-        return _fail("sweep needs at least one design and one policy")
-
+    workloads = args.workloads
+    if not (workloads == "pool" or workloads.startswith("pool:")):
+        workloads = _split(workloads)
     try:
-        engine = _make_engine(args)
+        spec = SweepSpec(
+            workloads=workloads,
+            designs=_split(args.designs),
+            policies=_split(args.policies),
+        )
+    except ValueError as exc:
+        return _fail(str(exc))
+    try:
+        session = _make_session(args)
     except ValueError as exc:  # e.g. --store pointing at a non-store file
         return _fail(str(exc))
     try:
-        ctx = ExperimentContext(engine=engine)
-        if args.workloads == "pool" or args.workloads.startswith("pool:"):
-            _, sep, count = args.workloads.partition(":")
-            try:
-                workloads = list(ctx.workload_pool(
-                    int(count) if sep else None
-                ))
-            except ValueError:
-                return _fail(f"bad pool size in {args.workloads!r}")
-        else:
-            try:
-                workloads = [
-                    find_workload(name.strip())
-                    for name in args.workloads.split(",") if name.strip()
-                ]
-            except KeyError as exc:
-                return _fail(str(exc.args[0]))
-        if not workloads:
-            return _fail("sweep needs at least one workload")
-
-        ctx.prefetch([
-            request
-            for spec in workloads
-            for _, design in designs
-            for policy in policies
-            for request in ctx.plan_speedup(spec, design, policy)
-        ])
-        result = FigureResult(
-            "Sweep",
-            f"speedup over no-prefetching baseline "
-            f"({len(workloads)} workloads)",
-        )
-        from .experiments.runner import geomean
-
-        columns = [
-            (f"{dname}/{policy}", design, policy)
-            for dname, design in designs for policy in policies
-        ]
-        per_column = {label: [] for label, _, _ in columns}
-        for spec in workloads:
-            row = {}
-            for label, design, policy in columns:
-                speedup = ctx.speedup(spec, design, policy)
-                row[label] = speedup
-                per_column[label].append(speedup)
-            result.add(spec.name, **row)
-        result.add("geomean", **{
-            label: geomean(values) for label, values in per_column.items()
-        })
+        try:
+            result = session.sweep(spec)
+        except ValueError as exc:
+            return _fail(str(exc))
         print(result.format_table())
         print()
-        print(engine.counters.summary())
+        print(session.counters.summary())
     finally:
-        engine.close()
+        session.close()
+    return 0
+
+
+def _cmd_exp(args) -> int:
+    from .api import ExperimentSpec, SpecError
+
+    # SpecError covers spec validation; plain ValueError covers lower
+    # layers (param normalization, registry) it may surface through.
+    try:
+        spec = ExperimentSpec.load(args.spec_path)
+    except (SpecError, ValueError) as exc:
+        return _fail(str(exc))
+
+    if args.exp_command == "validate":
+        print(f"experiment: {spec.name}")
+        print(f"content key: {spec.content_key()}")
+        if spec.scale is not None:
+            print(f"scale: {spec.scale}")
+        for kind, section in spec.sections():
+            print(f"  {kind}: {section.to_dict()}")
+        print("spec OK")
+        return 0
+
+    try:
+        session = _make_session(args)
+    except ValueError as exc:
+        return _fail(str(exc))
+    try:
+        try:
+            outcome = session.run_experiment(spec)
+        except ValueError as exc:  # run-time-empty cases, e.g. pool:0
+            return _fail(str(exc))
+        print(f"experiment: {spec.name} "
+              f"(content key {spec.content_key()[:12]})")
+        print()
+        print(outcome.format_text())
+        print()
+        print(session.counters.summary())
+    finally:
+        session.close()
     return 0
 
 
@@ -361,18 +370,12 @@ def _cmd_bench(args) -> int:
 
     kwargs = {}
     if args.workloads:
-        kwargs["workloads"] = tuple(
-            w.strip() for w in args.workloads.split(",") if w.strip()
-        )
+        kwargs["workloads"] = tuple(_split(args.workloads))
     if args.policies:
-        kwargs["policies"] = tuple(
-            p.strip() for p in args.policies.split(",") if p.strip()
-        )
+        kwargs["policies"] = tuple(_split(args.policies))
 
     if args.phase and args.phase != "all":
-        kwargs["phases"] = tuple(
-            p.strip() for p in args.phase.split(",") if p.strip()
-        )
+        kwargs["phases"] = tuple(_split(args.phase))
 
     def progress(workload: str, policy: str) -> None:
         print(f"  bench: {workload} x {policy}", file=sys.stderr, flush=True)
@@ -416,6 +419,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_figures(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "exp":
+        return _cmd_exp(args)
     if args.command == "classify":
         return _cmd_classify()
     if args.command == "bench":

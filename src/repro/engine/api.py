@@ -19,12 +19,24 @@ simulations.
 
 from __future__ import annotations
 
+from concurrent.futures import FIRST_COMPLETED, wait
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from .jobs import Request, Result, decode_result
 from .pool import ProgressFn, SimulationPool, _execute_request
 from .store import ResultStore, StoreDecodeError
+
+
+@dataclass(frozen=True)
+class Completed:
+    """One resolved request from :meth:`Engine.as_completed`."""
+
+    index: int          #: position in the submitted request sequence
+    key: str            #: the request's content-hash key
+    request: Request
+    result: Result
+    cached: bool        #: True when served from memo/store, not executed
 
 
 @dataclass
@@ -46,6 +58,12 @@ class EngineCounters:
     @property
     def total(self) -> int:
         return self.memo_hits + self.store_hits + self.executed
+
+    def apply_trace_delta(self, delta) -> None:
+        """Fold one worker payload's ``_trace_cache`` delta in."""
+        if delta:
+            self.trace_hits += delta.get("hits", 0)
+            self.trace_builds += delta.get("builds", 0)
 
     def summary(self) -> str:
         return (
@@ -70,6 +88,10 @@ class Engine:
         self.jobs = max(1, int(jobs)) if pool is None else (pool.jobs or 1)
         self._pool = pool
         self._memo: Dict[str, Result] = {}
+        #: keys whose results were executed (not replayed) this
+        #: engine lifetime; lets callers attribute executions to their
+        #: own requests, immune to concurrently harvested foreign work.
+        self.executed_keys: set = set()
         self.counters = EngineCounters()
         #: default progress callback for batches that don't pass one.
         self.progress = progress
@@ -105,26 +127,54 @@ class Engine:
                     return result
         return None
 
+    def _harvest_inflight(self) -> None:
+        """Record completed pool futures left by abandoned iterators.
+
+        An :meth:`as_completed` consumer that stopped iterating leaves
+        pending futures in the pool; once they finish, their payloads
+        are sitting there paid for — fold them into the memo/store so
+        the next batch reuses instead of re-executing them.
+        """
+        if self._pool is None:
+            return
+        for key, future in self._pool.drain_done():
+            if key in self._memo:
+                continue
+            try:
+                self._record(key, future.result())
+            except Exception:
+                continue
+
     def _record(self, key: str, payload: dict) -> Result:
-        trace_delta = payload.pop("_trace_cache", None)
-        if trace_delta is not None:
-            self.counters.trace_hits += trace_delta.get("hits", 0)
-            self.counters.trace_builds += trace_delta.get("builds", 0)
+        self.counters.apply_trace_delta(payload.pop("_trace_cache", None))
         result = decode_result(payload)
         if self.store is not None:
             self.store.put(key, payload)
         self._memo[key] = result
+        self.executed_keys.add(key)
         self.counters.executed += 1
         return result
 
     # -- execution ---------------------------------------------------------
 
     def run(self, request: Request) -> Result:
-        """Resolve one request (inline execution on a miss)."""
+        """Resolve one request (inline execution on a miss).
+
+        If a pool worker is already computing this key (left in flight
+        by an abandoned streaming iterator), wait on that future
+        instead of simulating the same thing twice.
+        """
+        self._harvest_inflight()
         key = request.key()
         cached = self._lookup(key)
         if cached is not None:
             return cached
+        if self._pool is not None:
+            future = self._pool.peek(key)
+            if future is not None:
+                payload = future.result()
+                self._pool.discard(key)
+                return self._record(key, payload)
         return self._record(key, _execute_request(request))
 
     def run_many(
@@ -139,6 +189,7 @@ class Engine:
         """
         if progress is None:
             progress = self.progress
+        self._harvest_inflight()
         keyed: List[Tuple[str, Request]] = [(r.key(), r) for r in requests]
         misses: Dict[str, Request] = {}
         for key, request in keyed:
@@ -156,6 +207,116 @@ class Engine:
                     if progress is not None:
                         progress(done, len(pairs), key)
         return [self._memo[key] for key, _ in keyed]
+
+    def as_completed(
+        self,
+        requests: Sequence[Request],
+        progress: Optional[ProgressFn] = None,
+    ) -> Iterator[Completed]:
+        """Stream results as they resolve instead of waiting on a batch.
+
+        Yields one :class:`Completed` per submitted request.  Cache hits
+        (memo/store) are yielded first, in submission order; misses
+        follow in completion order — the pool's order when parallel,
+        submission order when serial.  Duplicate requests all yield,
+        sharing one execution.  Every miss is recorded to the memo/store
+        exactly as :meth:`run_many` would, so a consumer that abandons
+        the iterator early keeps whatever already finished.
+        """
+        if progress is None:
+            progress = self.progress
+        self._harvest_inflight()
+        keyed: List[Tuple[str, Request]] = [(r.key(), r) for r in requests]
+        miss_indices: Dict[str, List[int]] = {}
+        misses: Dict[str, Request] = {}
+        hits: List[Tuple[int, str, Request, Result]] = []
+        for index, (key, request) in enumerate(keyed):
+            if key in misses:
+                miss_indices[key].append(index)
+                continue
+            cached = self._lookup(key)
+            if cached is not None:
+                hits.append((index, key, request, cached))
+            else:
+                misses[key] = request
+                miss_indices[key] = [index]
+        total = len(misses)
+        if misses and self.parallel:
+            # Submit misses to the pool *before* yielding the hits:
+            # workers simulate while the consumer processes cached
+            # results, which is the whole point of streaming.  Every
+            # yield — including the hit yields — stays inside the try
+            # so abandoning the iterator at any point still runs the
+            # finished-work recording below.
+            futures = {
+                self.pool.submit(key, request): key
+                for key, request in misses.items()
+            }
+            recorded = set()
+            try:
+                for index, key, request, cached in hits:
+                    yield Completed(index, key, request, cached,
+                                    cached=True)
+                done_count = 0
+                waiting = set(futures)
+                while waiting:
+                    done, waiting = wait(waiting,
+                                         return_when=FIRST_COMPLETED)
+                    for future in done:
+                        key = futures[future]
+                        # An interleaved run()/run_many() may have
+                        # already recorded this shared in-flight key;
+                        # recording twice would double-count executed
+                        # and rewrite the store.  Still harvest the
+                        # worker's trace-cache delta so those counters
+                        # reflect work that really happened.
+                        result = self._memo.get(key)
+                        if result is None:
+                            result = self._record(key, future.result())
+                        else:
+                            self.counters.apply_trace_delta(
+                                future.result().pop("_trace_cache", None))
+                        recorded.add(key)
+                        self.pool.discard(key)
+                        done_count += 1
+                        if progress is not None:
+                            progress(done_count, total, key)
+                        for index in miss_indices[key]:
+                            yield Completed(index, key, keyed[index][1],
+                                            result, cached=False)
+            finally:
+                # A consumer abandoning the iterator must not discard
+                # work that already finished in the pool: record every
+                # completed-but-unyielded future (and clear it from the
+                # in-flight map, where a done future would otherwise be
+                # re-executed by the next submit of the same key).
+                for future, key in futures.items():
+                    if key in recorded or key in self._memo \
+                            or not future.done():
+                        continue
+                    self.pool.discard(key)
+                    try:
+                        payload = future.result()
+                    except Exception:
+                        continue
+                    try:
+                        self._record(key, payload)
+                    except Exception:
+                        # This block can run during generator GC, after
+                        # Engine.close() shut the store; dropping a
+                        # cache write is safe (the store is never a
+                        # source of truth), raising here is not.
+                        continue
+        else:
+            for index, key, request, cached in hits:
+                yield Completed(index, key, request, cached, cached=True)
+            for done_count, (key, request) in enumerate(misses.items(), 1):
+                result = self._record(key, _execute_request(request))
+                if progress is not None:
+                    progress(done_count, total, key)
+                for index in miss_indices[key]:
+                    yield Completed(index, key, keyed[index][1],
+                                    result, cached=False)
 
     def sweep(
         self,

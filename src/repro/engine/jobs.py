@@ -86,12 +86,46 @@ def _digest(payload: dict) -> str:
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
-def _build_policy(policy_name: str, athena_config: Optional[AthenaConfig]):
+def _memoized_key(request) -> str:
+    """Compute (once) and cache a frozen request's content key.
+
+    Requests are immutable, and callers — planner, engine tiers, result
+    wrappers — each ask for the key; memoizing on the instance turns
+    the repeated canonicalize+sha256 passes into one.
+    """
+    key = request.__dict__.get("_key")
+    if key is None:
+        key = _digest(request.canonical())
+        object.__setattr__(request, "_key", key)
+    return key
+
+
+def _reject_athena_options(request) -> None:
+    """Athena options must travel as ``athena_config``.
+
+    ``policy_options`` is hashed into the content key, so accepting it
+    for athena while execution reads only ``athena_config`` would cache
+    results under option labels that were never applied.  Refuse at
+    request construction instead.
+    """
+    if request.policy_name == "athena" and request.policy_options:
+        raise ValueError(
+            "athena requests carry their configuration in athena_config; "
+            f"policy_options {dict(request.policy_options)} would be "
+            "ignored at execution"
+        )
+
+
+def _build_policy(
+    policy_name: str,
+    athena_config: Optional[AthenaConfig],
+    policy_options: Tuple[Tuple[str, object], ...] = (),
+):
     if policy_name == "athena" and athena_config is not None:
         from ..policies.athena import AthenaPolicy
 
         return AthenaPolicy(athena_config)
-    return make_policy(policy_name)
+    return make_policy(policy_name, **dict(policy_options))
 
 
 # ---------------------------------------------------------------------------
@@ -113,6 +147,13 @@ class RunRequest:
     athena_config: Optional[AthenaConfig] = None
     epoch_length: int = 250
     warmup_fraction: float = 0.2
+    #: constructor options for non-athena policies (athena carries its
+    #: full configuration in ``athena_config`` instead), as a sorted
+    #: tuple of pairs so the request stays hashable/picklable.
+    policy_options: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        _reject_athena_options(self)
 
     def _effective_config(self) -> Optional[AthenaConfig]:
         """The configuration the run actually uses.
@@ -128,7 +169,7 @@ class RunRequest:
 
     def canonical(self) -> dict:
         """JSON-able canonical form; hashed by :meth:`key`."""
-        return {
+        out = {
             "schema": ENGINE_SCHEMA,
             "kind": "run",
             "workload": _canonical_spec(self.spec),
@@ -139,10 +180,17 @@ class RunRequest:
             "epoch_length": self.epoch_length,
             "warmup_fraction": self.warmup_fraction,
         }
+        # Included only when set so option-free requests keep the keys
+        # they had before this field existed (warm stores stay warm).
+        if self.policy_options:
+            out["policy_options"] = [
+                [k, v] for k, v in sorted(self.policy_options)
+            ]
+        return out
 
     def key(self) -> str:
-        """Stable content-hash identity (sha256 hex)."""
-        return _digest(self.canonical())
+        """Stable content-hash identity (sha256 hex), memoized."""
+        return _memoized_key(self)
 
     def execute(self) -> SimulationResult:
         """Run the simulation described by this request."""
@@ -150,7 +198,8 @@ class RunRequest:
 
         trace = build_trace(self.spec, self.trace_length)
         hierarchy = build_hierarchy(self.design)
-        policy = _build_policy(self.policy_name, self.athena_config)
+        policy = _build_policy(self.policy_name, self.athena_config,
+                               self.policy_options)
         return Simulator(
             trace,
             hierarchy,
@@ -170,9 +219,13 @@ class MixRequest:
     policy_name: str = "none"
     epoch_length: int = 250
     warmup_fraction: float = 0.0
+    policy_options: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        _reject_athena_options(self)
 
     def canonical(self) -> dict:
-        return {
+        out = {
             "schema": ENGINE_SCHEMA,
             "kind": "mix",
             "workloads": [_canonical_spec(s) for s in self.workloads],
@@ -182,9 +235,14 @@ class MixRequest:
             "epoch_length": self.epoch_length,
             "warmup_fraction": self.warmup_fraction,
         }
+        if self.policy_options:
+            out["policy_options"] = [
+                [k, v] for k, v in sorted(self.policy_options)
+            ]
+        return out
 
     def key(self) -> str:
-        return _digest(self.canonical())
+        return _memoized_key(self)
 
     def execute(self) -> MultiCoreResult:
         from ..experiments.configs import build_hierarchy, system_for
@@ -198,7 +256,9 @@ class MixRequest:
             hierarchy_factory=lambda p, llc, dram: build_hierarchy(
                 design, params=p, llc=llc, dram=dram
             ),
-            policy_factory=lambda: _build_policy(self.policy_name, None),
+            policy_factory=lambda: _build_policy(
+                self.policy_name, None, self.policy_options
+            ),
             instructions_per_core=self.trace_length,
             epoch_length=self.epoch_length,
             warmup_fraction=self.warmup_fraction,

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
-from typing import Callable, Dict, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .jobs import Request, encode_result
 
@@ -65,6 +65,34 @@ class SimulationPool:
         self._inflight[key] = future
         return future
 
+    def peek(self, key: str) -> Optional[Future]:
+        """The in-flight future for ``key``, if any (no submission)."""
+        return self._inflight.get(key)
+
+    def discard(self, key: str) -> None:
+        """Drop ``key`` from the in-flight map (its result was consumed).
+
+        Callers must discard every future they take a result from: a
+        *done* future left in the map would be re-executed by the next
+        :meth:`submit` of the same key.
+        """
+        self._inflight.pop(key, None)
+
+    def drain_done(self) -> List[Tuple[str, Future]]:
+        """Pop and return every completed in-flight (key, future) pair.
+
+        Lets the engine harvest results whose consumer abandoned a
+        streaming iterator: the work already happened in a worker, so
+        recording it beats re-executing it later.
+        """
+        done = [
+            (key, future) for key, future in self._inflight.items()
+            if future.done()
+        ]
+        for key, _ in done:
+            self._inflight.pop(key, None)
+        return done
+
     def run_batch(
         self,
         keyed_requests: Sequence[Tuple[str, Request]],
@@ -89,7 +117,7 @@ class SimulationPool:
             for future in done:
                 key = pending[future]
                 results[key] = future.result()
-                self._inflight.pop(key, None)
+                self.discard(key)
                 if progress is not None:
                     progress(len(results), total, key)
         return results

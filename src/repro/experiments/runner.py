@@ -87,16 +87,30 @@ class ExperimentContext:
         design: CacheDesign,
         policy_name: str = "none",
         athena_config: Optional[AthenaConfig] = None,
+        *,
+        trace_length: Optional[int] = None,
+        epoch_length: Optional[int] = None,
+        warmup_fraction: Optional[float] = None,
+        policy_options: Tuple[Tuple[str, object], ...] = (),
     ) -> RunRequest:
-        """The engine request :meth:`run` would resolve."""
+        """The engine request :meth:`run` would resolve.
+
+        The keyword-only overrides default to the context's scale, so
+        requests planned without them keep their historical content
+        keys; spec files use them to pin per-run lengths.
+        """
         return RunRequest(
             spec=spec,
-            trace_length=self.scale.trace_length,
+            trace_length=trace_length if trace_length is not None
+            else self.scale.trace_length,
             design=design,
             policy_name=policy_name,
             athena_config=athena_config,
-            epoch_length=self.scale.epoch_length,
-            warmup_fraction=self.scale.warmup_fraction,
+            epoch_length=epoch_length if epoch_length is not None
+            else self.scale.epoch_length,
+            warmup_fraction=warmup_fraction if warmup_fraction is not None
+            else self.scale.warmup_fraction,
+            policy_options=policy_options,
         )
 
     def plan_speedup(
@@ -105,20 +119,29 @@ class ExperimentContext:
         design: CacheDesign,
         policy_name: str = "none",
         athena_config: Optional[AthenaConfig] = None,
+        **overrides,
     ) -> List[RunRequest]:
         """Every request :meth:`speedup` needs (baseline + policy runs)."""
-        requests = [self.plan_run(spec, design.without_mechanisms())]
+        policy_overrides = dict(overrides)
+        baseline_overrides = dict(overrides)
+        baseline_overrides.pop("policy_options", None)
+        requests = [
+            self.plan_run(spec, design.without_mechanisms(),
+                          **baseline_overrides)
+        ]
         if policy_name == "athena":
             config = athena_config if athena_config is not None \
                 else AthenaConfig()
             for offset in self._SEED_STREAM[: max(1, self.scale.policy_seeds)]:
                 seeded = config.with_updates(seed=config.seed ^ offset)
                 requests.append(
-                    self.plan_run(spec, design, policy_name, seeded)
+                    self.plan_run(spec, design, policy_name, seeded,
+                                  **policy_overrides)
                 )
         else:
             requests.append(
-                self.plan_run(spec, design, policy_name, athena_config)
+                self.plan_run(spec, design, policy_name, athena_config,
+                              **policy_overrides)
             )
         return requests
 
@@ -146,15 +169,27 @@ class ExperimentContext:
         return requests
 
     def plan_mix(
-        self, mix: WorkloadMix, design: CacheDesign, policy_name: str = "none"
+        self,
+        mix: WorkloadMix,
+        design: CacheDesign,
+        policy_name: str = "none",
+        *,
+        trace_length: Optional[int] = None,
+        epoch_length: Optional[int] = None,
+        warmup_fraction: Optional[float] = None,
+        policy_options: Tuple[Tuple[str, object], ...] = (),
     ) -> MixRequest:
         return MixRequest(
             workloads=tuple(mix.workloads),
-            trace_length=self.scale.trace_length,
+            trace_length=trace_length if trace_length is not None
+            else self.scale.trace_length,
             design=design,
             policy_name=policy_name,
-            epoch_length=self.scale.epoch_length,
-            warmup_fraction=self.scale.warmup_fraction,
+            epoch_length=epoch_length if epoch_length is not None
+            else self.scale.epoch_length,
+            warmup_fraction=warmup_fraction if warmup_fraction is not None
+            else self.scale.warmup_fraction,
+            policy_options=policy_options,
         )
 
     def prefetch(self, requests: Sequence[Request]) -> None:

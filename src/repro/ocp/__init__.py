@@ -13,14 +13,16 @@ OCPS = {
 }
 
 
-def make_ocp(name: str) -> OffChipPredictor:
-    """Instantiate an off-chip predictor by registry name."""
-    try:
-        return OCPS[name]()
-    except KeyError:
-        raise ValueError(
-            f"unknown OCP {name!r}; valid: {sorted(OCPS)}"
-        ) from None
+def make_ocp(name: str, **kwargs) -> OffChipPredictor:
+    """Instantiate an off-chip predictor by registry name.
+
+    Keyword arguments map onto the predictor's constructor (e.g.
+    ``ttp``'s ``capacity_lines``); unknown names/options raise
+    :exc:`ValueError` via the unified component registry.
+    """
+    from ..api.registry import registry
+
+    return registry.create("ocp", name, **kwargs)
 
 
 __all__ = [

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional
 
-from ..core.config import AthenaConfig
 from .athena import AthenaPolicy
 from .base import CoordinationPolicy, NaivePolicy
 from .hpac import HpacPolicy
@@ -40,32 +39,11 @@ def make_policy(name: str, **kwargs) -> Optional[CoordinationPolicy]:
     (e.g. ``seed=7``, ``alpha=0.4``), for the other policies they map onto
     the constructor parameters (e.g. MAB's ``discount``).  Unsupported
     options raise :exc:`ValueError` instead of being silently discarded.
+
+    Delegates to the unified :class:`repro.api.registry.ComponentRegistry`
+    (imported lazily — this module sits below the api layer), which owns
+    the parameter schemas and the validation messages.
     """
-    if name == "athena":
-        if not kwargs:
-            return AthenaPolicy()
-        try:
-            return AthenaPolicy(AthenaConfig(**kwargs))
-        except TypeError:
-            raise ValueError(
-                f"unsupported athena options {sorted(kwargs)}; valid: "
-                f"{sorted(AthenaConfig.__dataclass_fields__)}"
-            ) from None
-    try:
-        factory = POLICY_FACTORIES[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown policy {name!r}; valid: {sorted(POLICY_FACTORIES)}"
-        ) from None
-    if name == "none":
-        if kwargs:
-            raise ValueError(
-                f"policy 'none' accepts no options; got {sorted(kwargs)}"
-            )
-        return None
-    try:
-        return factory(**kwargs)
-    except TypeError:
-        raise ValueError(
-            f"unsupported options {sorted(kwargs)} for policy {name!r}"
-        ) from None
+    from ..api.registry import registry
+
+    return registry.create("policy", name, **kwargs)

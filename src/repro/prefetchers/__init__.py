@@ -21,14 +21,18 @@ PREFETCHERS = {
 }
 
 
-def make_prefetcher(name: str) -> Prefetcher:
-    """Instantiate a prefetcher by registry name."""
-    try:
-        return PREFETCHERS[name]()
-    except KeyError:
-        raise ValueError(
-            f"unknown prefetcher {name!r}; valid: {sorted(PREFETCHERS)}"
-        ) from None
+def make_prefetcher(name: str, **kwargs) -> Prefetcher:
+    """Instantiate a prefetcher by registry name.
+
+    Keyword arguments map onto the prefetcher's constructor parameters
+    (e.g. ``streamer``'s ``table_size``, ``pythia``'s ``seed``); unknown
+    names and unsupported options raise :exc:`ValueError`, exactly like
+    :func:`repro.policies.registry.make_policy`.  Validation lives in
+    the unified :class:`repro.api.registry.ComponentRegistry`.
+    """
+    from ..api.registry import registry
+
+    return registry.create("prefetcher", name, **kwargs)
 
 
 __all__ = [

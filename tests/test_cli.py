@@ -15,6 +15,17 @@ class TestList:
         assert "evaluation workloads (100)" in out
         assert "google" in out
 
+    def test_lists_component_schemas(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "component parameter schemas:" in out
+        # every family appears with its constructor parameters
+        assert "prefetcher streamer" in out and "table_size=64" in out
+        assert "policy mab" in out and "discount=0.98" in out
+        assert "ocp ttp" in out and "capacity_lines=65536" in out
+        assert "design cd1" in out and "bandwidth_gbps=3.2" in out
+        assert "policy naive" in out and "(no options)" in out
+
 
 class TestRun:
     def test_run_prints_speedup(self, capsys):
