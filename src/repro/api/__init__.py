@@ -20,6 +20,7 @@ from .registry import (
     register_ocp,
     register_policy,
     register_prefetcher,
+    register_trace_adapter,
     registry,
     schema_from_callable,
 )
@@ -65,6 +66,7 @@ __all__ = [
     "register_ocp",
     "register_policy",
     "register_prefetcher",
+    "register_trace_adapter",
     "registry",
     "schema_from_callable",
 ]

@@ -1,5 +1,6 @@
 """Unified component registry: policies, prefetchers, OCPs, cache
-designs, and workload suites behind one schema-validated factory.
+designs, workload suites, and trace adapters behind one
+schema-validated factory.
 
 Before this module each component family had its own shape — policies a
 dict with bespoke athena handling, prefetchers a validation-free dict,
@@ -187,7 +188,16 @@ class Component:
 
 
 class ComponentRegistry:
-    """Name → factory registry across every component kind."""
+    """Name → factory registry across every component kind.
+
+    Kinds in the default registry: ``policy``, ``prefetcher``, ``ocp``,
+    ``design``, ``suite``, and ``trace_adapter``.  Each component pairs
+    a factory with a parameter schema (usually derived from its
+    constructor signature); :meth:`validate` checks names and option
+    values *without* instantiating, :meth:`create` validates then
+    builds, and :meth:`schema` feeds ``repro list`` and spec-file
+    validation from the same source of truth.
+    """
 
     def __init__(self) -> None:
         self._components: Dict[Tuple[str, str], Component] = {}
@@ -477,9 +487,22 @@ def _register_designs() -> None:
                           description=description, replace=True)
 
 
+def _register_trace_adapters() -> None:
+    from ..workloads.ingest import TRACE_ADAPTERS
+
+    for name, cls in TRACE_ADAPTERS.items():
+        doc = (cls.__doc__ or "").strip().splitlines()
+        registry.register(
+            "trace_adapter", name, cls,
+            description=doc[0] if doc else "", replace=True,
+        )
+    _install_legacy_fallback("trace_adapter", TRACE_ADAPTERS)
+
+
 def _register_suites() -> None:
     from ..workloads.suites import (
         evaluation_workloads,
+        extended_workloads,
         google_workloads,
         tuning_workloads,
     )
@@ -499,6 +522,12 @@ def _register_suites() -> None:
         description="unseen datacenter-like workloads (paper Figure 21)",
         replace=True,
     )
+    registry.register(
+        "suite", "extended", extended_workloads, schema={},
+        description="extended families: phase-shift, strided-drift, "
+                    "producer-consumer",
+        replace=True,
+    )
 
 
 def _populate_default_registry() -> None:
@@ -507,6 +536,7 @@ def _populate_default_registry() -> None:
     _register_ocps()
     _register_designs()
     _register_suites()
+    _register_trace_adapters()
 
 
 _populate_default_registry()
@@ -554,6 +584,12 @@ def _ocp_dict():
     return OCPS
 
 
+def _trace_adapter_dict():
+    from ..workloads.ingest import TRACE_ADAPTERS
+
+    return TRACE_ADAPTERS
+
+
 #: Class/factory decorator adding a coordination policy by name::
 #:
 #:     @register_policy("accuracy_gated")
@@ -565,6 +601,15 @@ register_prefetcher = _plugin_decorator("prefetcher", _prefetcher_dict)
 register_ocp = _plugin_decorator("ocp", _ocp_dict)
 #: Factory decorator adding a cache-design preset by name.
 register_design = _plugin_decorator("design", None)
+#: Class/factory decorator adding an external-trace format by name::
+#:
+#:     @register_trace_adapter("champsimish")
+#:     class ChampSimishAdapter:
+#:         def peek_length(self, path): ...
+#:         def load(self, path) -> Trace: ...
+register_trace_adapter = _plugin_decorator(
+    "trace_adapter", _trace_adapter_dict
+)
 
 
 def make_design(name: str, **params):

@@ -47,7 +47,29 @@ StoreLike = Union[ResultStore, str, pathlib.Path, None]
 
 
 class Session:
-    """Engine + store + scale bundled behind the spec-level API."""
+    """Engine + store + scale bundled behind the spec-level API.
+
+    Parameters
+    ----------
+    store:
+        A :class:`~repro.engine.store.ResultStore`, a path to create
+        one at, or ``None`` for no persistence (results are still
+        memoized in-process for the session's lifetime).
+    jobs:
+        Worker processes for simulation misses; ``1`` executes
+        in-process.
+    scale:
+        A :class:`~repro.workloads.suites.ReproScale` or its name
+        (``tiny``/``small``/``medium``/``full``); defaults to the
+        ``REPRO_SCALE`` environment variable, then ``small``.
+    engine:
+        Adopt an existing engine instead — mutually exclusive with
+        ``store``/``jobs``/``progress``, and the session then does not
+        close it.
+    progress:
+        ``fn(done, total, key)`` callback invoked as batch simulations
+        finish.
+    """
 
     def __init__(
         self,

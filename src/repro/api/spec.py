@@ -70,10 +70,18 @@ def _check_fields(payload: dict, known: Sequence[str], what: str) -> None:
 
 
 def _resolve_workload(name: str) -> WorkloadSpec:
+    """Registry name or ``trace://`` source → workload spec.
+
+    External-source failures (missing file, unknown adapter, changed
+    content) surface as :exc:`SpecError` just like unknown registry
+    names, so spec validation reports both the same way.
+    """
     try:
         return find_workload(name)
     except KeyError as exc:
         raise SpecError(str(exc.args[0])) from None
+    except ValueError as exc:  # TraceImportError from trace:// sources
+        raise SpecError(str(exc)) from None
 
 
 def _registry_validate(kind: str, name: str, params: dict) -> None:
@@ -192,6 +200,9 @@ def _policy_options(spec) -> Tuple[Tuple[str, object], ...]:
 class RunSpec:
     """One workload × design × policy speedup measurement.
 
+    ``workload`` is a registry name (``ligra.BFS.0``) or an external
+    ``trace://path[?adapter=…]`` source (resolved and validated — file
+    present, adapter known — at construction; see ``docs/traces.md``).
     Lowered by :meth:`plan` into the baseline request plus the policy
     run(s) — for athena, one per averaged agent seed — exactly as
     :meth:`ExperimentContext.plan_speedup` builds them.
@@ -260,7 +271,12 @@ class RunSpec:
 
 @dataclass
 class MixSpec:
-    """One multi-core mix: N workloads co-running on one design."""
+    """One multi-core mix: N workloads co-running on one design.
+
+    Each entry of ``workloads`` accepts the same spellings as
+    :class:`RunSpec.workload` — registry names and ``trace://``
+    sources can co-run in one mix.
+    """
 
     workloads: List[str]
     design: str = "cd1"

@@ -61,7 +61,8 @@ DEFAULT_POLICIES = ("none", "athena")
 #: (streaming/stencil/gups) first so ``--quick`` keeps them.
 TRACE_FAMILIES = (
     "streaming", "stencil", "gups", "pointer_chase", "hash_probe",
-    "graph", "compute", "phased", "datacenter",
+    "graph", "compute", "phased", "datacenter", "phase_shift",
+    "strided_drift", "producer_consumer",
 )
 TRACE_LENGTH = 100_000
 TRACE_SEED = 1234

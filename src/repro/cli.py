@@ -20,6 +20,12 @@ Commands
 ``exp``
     Execute (``exp run``) or validate (``exp validate``) a declarative
     experiment spec file (TOML or JSON) through the SDK.
+``trace``
+    Ingest external trace files: ``trace import`` parses a file through
+    a registered adapter into the content-addressed trace cache and
+    prints the ``trace://`` reference to use in specs; ``trace
+    inspect`` prints a stats block for an external file or a registry
+    workload.
 ``classify``
     Split the evaluation workloads into prefetcher-friendly/adverse.
 
@@ -104,6 +110,38 @@ def _build_parser():
     )
     exp_validate.add_argument("spec_path", metavar="SPEC")
 
+    trace = sub.add_parser(
+        "trace", help="import/inspect external trace files"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_import = trace_sub.add_parser(
+        "import",
+        help="parse an external trace into the content-addressed cache",
+    )
+    trace_import.add_argument(
+        "source", help="path or trace:// source of the external file"
+    )
+    trace_import.add_argument(
+        "--name", default=None,
+        help="workload name (default: the file stem)")
+    trace_import.add_argument(
+        "--adapter", default=None,
+        help="adapter name (default: by file suffix); see `repro list`")
+    trace_import.add_argument(
+        "--param", action="append", default=[], metavar="KEY=VALUE",
+        help="adapter option, repeatable (e.g. --param delimiter=,)")
+    trace_inspect = trace_sub.add_parser(
+        "inspect",
+        help="print a stats block for a trace file or registry workload",
+    )
+    trace_inspect.add_argument(
+        "source", help="path, trace:// source, or registry workload name"
+    )
+    trace_inspect.add_argument(
+        "--length", type=int, default=6_000,
+        help="build length for registry workloads (default 6000; "
+             "external files use their native length)")
+
     sub.add_parser("classify",
                    help="friendly/adverse split of the workload pool")
 
@@ -178,15 +216,20 @@ def _split(text: str) -> List[str]:
 
 def _cmd_list() -> int:
     from .api.registry import registry
-    from .workloads.suites import evaluation_workloads, google_workloads
+    from .workloads.suites import (
+        evaluation_workloads,
+        extended_workloads,
+        google_workloads,
+    )
 
     print("policies:   ", ", ".join(registry.names("policy")))
     print("prefetchers:", ", ".join(registry.names("prefetcher")))
     print("ocps:       ", ", ".join(registry.names("ocp")))
     print("designs:    ", " ".join(registry.names("design")))
+    print("adapters:   ", ", ".join(registry.names("trace_adapter")))
     print()
     print("component parameter schemas:")
-    for kind in ("policy", "prefetcher", "ocp", "design"):
+    for kind in ("policy", "prefetcher", "ocp", "design", "trace_adapter"):
         for component in registry.components(kind):
             params = ", ".join(
                 spec.describe() for spec in component.schema.values()
@@ -198,6 +241,9 @@ def _cmd_list() -> int:
         print(f"  {spec.name:32s} {spec.suite:8s} {spec.pattern}")
     print(f"unseen/google workloads ({len(tuple(google_workloads()))}):")
     for spec in google_workloads():
+        print(f"  {spec.name:32s} {spec.suite:8s} {spec.pattern}")
+    print(f"extended workloads ({len(tuple(extended_workloads()))}):")
+    for spec in extended_workloads():
         print(f"  {spec.name:32s} {spec.suite:8s} {spec.pattern}")
     return 0
 
@@ -345,6 +391,58 @@ def _cmd_exp(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    import pathlib
+
+    from .api.params import parse_assignments
+    from .workloads.ingest import (
+        TraceImportError,
+        describe_trace,
+        import_trace,
+        is_trace_source,
+    )
+
+    if args.trace_command == "import":
+        try:
+            params = parse_assignments(args.param, "--param")
+            outcome = import_trace(args.source, name=args.name,
+                                   adapter=args.adapter, params=params)
+        except (TraceImportError, ValueError) as exc:
+            return _fail(str(exc))
+        spec_params = dict(outcome.spec.params)
+        print(f"imported:    {outcome.spec.name}"
+              f"{' (cached)' if outcome.cached else ''}")
+        print(f"adapter:     {spec_params['adapter']}")
+        print(f"sha256:      {spec_params['sha256']}")
+        print(f"fingerprint: {outcome.fingerprint}")
+        print(f"source:      {outcome.source}")
+        print(describe_trace(outcome.trace))
+        return 0
+
+    # inspect: an external file/source, or a registry workload name
+    from .workloads.suites import build_trace, find_workload
+
+    source = args.source
+    # import_trace accepts both spellings; a bare path is passed as-is
+    # (wrapping it in trace:// would need percent-encoding first).
+    external = is_trace_source(source) or pathlib.Path(source).is_file()
+    try:
+        if external:
+            outcome = import_trace(source)
+            trace = outcome.trace
+            print(f"trace:   {outcome.spec.name} (external, "
+                  f"adapter {dict(outcome.spec.params)['adapter']})")
+        else:
+            spec = find_workload(source)
+            trace = build_trace(spec, args.length)
+            print(f"trace:   {spec.name} ({spec.suite}/{spec.pattern} "
+                  f"@ {args.length})")
+    except (KeyError, TraceImportError) as exc:
+        return _fail(str(exc.args[0] if exc.args else exc))
+    print(describe_trace(trace))
+    return 0
+
+
 def _cmd_classify() -> int:
     from .experiments.configs import CacheDesign
     from .experiments.runner import ExperimentContext
@@ -421,6 +519,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "exp":
         return _cmd_exp(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "classify":
         return _cmd_classify()
     if args.command == "bench":

@@ -46,13 +46,11 @@ ENGINE_SCHEMA = 1
 # ---------------------------------------------------------------------------
 
 def _canonical_spec(spec: WorkloadSpec) -> dict:
-    return {
-        "name": spec.name,
-        "suite": spec.suite,
-        "pattern": spec.pattern,
-        "seed": spec.seed,
-        "params": [[k, v] for k, v in spec.params],
-    }
+    # One identity for both cache layers: the same canonical recipe the
+    # trace cache fingerprints (for an external trace that is the file's
+    # sha256 + adapter params — the path is a resolution hint and stays
+    # out of the key, so results survive the file moving).
+    return spec.canonical_recipe()
 
 
 def _canonical_design(design) -> dict:

@@ -1,5 +1,17 @@
-"""Synthetic workload substrate (traces, generators, suite registry)."""
+"""Synthetic workload substrate (traces, generators, suite registry)
+plus external trace ingestion (:mod:`repro.workloads.ingest`)."""
 
+from .ingest import (
+    TRACE_ADAPTERS,
+    ExternalTraceSpec,
+    MemtraceAdapter,
+    NpzAdapter,
+    TraceImport,
+    TraceImportError,
+    import_trace,
+    resolve_trace_source,
+    trace_source,
+)
 from .suites import (
     GOOGLE_CATEGORIES,
     SCALES,
@@ -8,6 +20,7 @@ from .suites import (
     active_scale,
     build_trace,
     evaluation_workloads,
+    extended_workloads,
     find_workload,
     google_workloads,
     representative_subset,
@@ -30,9 +43,19 @@ __all__ = [
     "active_scale",
     "build_trace",
     "evaluation_workloads",
+    "extended_workloads",
     "find_workload",
     "google_workloads",
     "representative_subset",
     "tuning_workloads",
     "workloads_by_suite",
+    "TRACE_ADAPTERS",
+    "ExternalTraceSpec",
+    "MemtraceAdapter",
+    "NpzAdapter",
+    "TraceImport",
+    "TraceImportError",
+    "import_trace",
+    "resolve_trace_source",
+    "trace_source",
 ]

@@ -367,6 +367,70 @@ def _scalar_emit_compute(
             emitted += 1
 
 
+def _scalar_emit_strided_drift(
+    builder, rng, instructions, base_line, pc_block,
+    base_stride=1, stride_span=4, drift_every=64, gap=2,
+    mispredict_rate=0.002, elements_per_line=8,
+    _state=None,
+) -> None:
+    if _state is None:
+        line, emitted, i = base_line, 0, 0
+    else:
+        line, emitted, i = _state
+    while emitted < instructions:
+        g = i // elements_per_line
+        element = i - g * elements_per_line
+        dependent = element == 0 and g % drift_every == 0
+        builder.load(_pc(pc_block, 0), _line_to_addr(line, element * 8),
+                     dependent=dependent)
+        emitted += 1
+        fill = min(gap, instructions - emitted)
+        _filler(builder, rng, fill, pc_block, mispredict_rate)
+        emitted += fill
+        if element == elements_per_line - 1:
+            line += base_stride + (g // drift_every) % stride_span
+        i += 1
+
+
+def _scalar_emit_producer_consumer(
+    builder, rng, instructions, base_line, pc_block,
+    ring_lines=1 << 12, lag=8, sync_every=16, gap=3,
+    mispredict_rate=0.005,
+    _state=None,
+) -> None:
+    if _state is None:
+        r, emitted = 0, 0
+    else:
+        r, emitted = _state
+    control_line = base_line + ring_lines
+    while emitted < instructions:
+        if sync_every and r % sync_every == 0:
+            # Consumer polls the head counter (the next ring address
+            # comes from its value, so the load is dependent), producer
+            # publishes the new tail.
+            builder.load(_pc(pc_block, 2), _line_to_addr(control_line),
+                         dependent=True)
+            emitted += 1
+            if emitted >= instructions:
+                break
+            builder.store(_pc(pc_block, 3), _line_to_addr(control_line, 8))
+            emitted += 1
+        if emitted >= instructions:
+            break
+        builder.store(_pc(pc_block, 0),
+                      _line_to_addr(base_line + r % ring_lines))
+        emitted += 1
+        if emitted >= instructions:
+            break
+        builder.load(_pc(pc_block, 1),
+                     _line_to_addr(base_line + (r - lag) % ring_lines))
+        emitted += 1
+        fill = min(gap, instructions - emitted)
+        _filler(builder, rng, fill, pc_block, mispredict_rate)
+        emitted += fill
+        r += 1
+
+
 # --------------------------------------------------------------------------
 # vectorized emitters
 # --------------------------------------------------------------------------
@@ -1010,6 +1074,131 @@ def _vec_emit_compute(
     br.sync()
 
 
+def _vec_emit_strided_drift(
+    builder, rng, instructions, base_line, pc_block,
+    base_stride=1, stride_span=4, drift_every=64, gap=2,
+    mispredict_rate=0.002, elements_per_line=8,
+) -> None:
+    """Vectorized :func:`emit_strided_drift`: the drifting line walk is a
+    prefix-sum over the per-line stride schedule (a pure function of the
+    line index), and the filler is the only RNG consumer — so the full
+    prefix is one scatter plus one bulk filler decode."""
+    L = instructions
+    epl = elements_per_line
+    hi = L // (1 + gap) + 2
+    i_arr = np.arange(hi, dtype=np.int64)
+    e_arr = i_arr * (1 + gap)
+    partial = e_arr + 1 + gap > L
+    K = int(np.argmax(partial)) if partial.any() else hi
+    # Line start address per line index (needed through the tail's
+    # resume line K // epl): base + prefix sum of the drift schedule.
+    n_lines = K // epl + 1
+    strides = base_stride + (
+        np.arange(n_lines - 1, dtype=np.int64) // drift_every
+    ) % stride_span
+    line_pos = base_line + np.concatenate(
+        (np.zeros(1, dtype=np.int64), np.cumsum(strides))
+    )
+    if K:
+        br = BulkRandom(rng)
+        i_arr, e_arr = i_arr[:K], e_arr[:K]
+        g = i_arr // epl
+        element = i_arr - g * epl
+        dep = (element == 0) & (g % drift_every == 0)
+        line = line_pos[g]
+        total = int(e_arr[-1]) + 1 + gap
+        pcs = np.empty(total, dtype=np.int64)
+        addrs = np.zeros(total, dtype=np.int64)
+        flags = np.zeros(total, dtype=np.uint8)
+        pcs[e_arr] = _pc(pc_block, 0)
+        addrs[e_arr] = (line << LINE_SHIFT) | ((element * 8) & 0x3F)
+        flags[e_arr] = _load_flags(dep)
+        if gap:
+            fpc, _, ffl = bulk_filler(br, gap * K, pc_block, mispredict_rate)
+            fpos = (
+                (e_arr + 1)[:, None] + np.arange(gap, dtype=np.int64)
+            ).ravel()
+            pcs[fpos] = fpc
+            flags[fpos] = ffl
+        builder.extend(pcs, addrs, flags)
+        br.sync()
+    _scalar_emit_strided_drift(
+        builder, rng, instructions, base_line, pc_block,
+        base_stride=base_stride, stride_span=stride_span,
+        drift_every=drift_every, gap=gap,
+        mispredict_rate=mispredict_rate, elements_per_line=epl,
+        _state=(int(line_pos[K // epl]), K * (1 + gap), K),
+    )
+
+
+def _vec_emit_producer_consumer(
+    builder, rng, instructions, base_line, pc_block,
+    ring_lines=1 << 12, lag=8, sync_every=16, gap=3,
+    mispredict_rate=0.005,
+) -> None:
+    """Vectorized :func:`emit_producer_consumer`: round sizes (with or
+    without the periodic sync pair) are a pure function of the round
+    index, so offsets are one cumsum and the ring walk two modular index
+    arrays; only the filler touches the RNG."""
+    L = instructions
+    control_line = base_line + ring_lines
+    max_round = 4 + gap
+    K = 0
+    emitted = 0
+    if L >= max_round:
+        K_max = L // (2 + gap) + 2
+        r_full = np.arange(K_max, dtype=np.int64)
+        if sync_every:
+            sm_full = r_full % sync_every == 0
+        else:
+            sm_full = np.zeros(K_max, dtype=bool)
+        sizes = (2 + gap + np.where(sm_full, 2, 0)).astype(np.int64)
+        e_before = np.cumsum(sizes) - sizes
+        K = int(np.searchsorted(e_before, L - max_round, side="right"))
+        if K:
+            br = BulkRandom(rng)
+            sm = sm_full[:K]
+            off = e_before[:K]
+            r_arr = r_full[:K]
+            emitted = int(off[-1] + sizes[K - 1])
+            pcs = np.empty(emitted, dtype=np.int64)
+            addrs = np.zeros(emitted, dtype=np.int64)
+            flags = np.zeros(emitted, dtype=np.uint8)
+            if sm.any():
+                spos = off[sm]
+                pcs[spos] = _pc(pc_block, 2)
+                addrs[spos] = control_line << LINE_SHIFT
+                flags[spos] = FLAG_LOAD | FLAG_DEP
+                pcs[spos + 1] = _pc(pc_block, 3)
+                addrs[spos + 1] = (control_line << LINE_SHIFT) | 8
+                flags[spos + 1] = FLAG_STORE
+            body = off + np.where(sm, 2, 0)
+            pcs[body] = _pc(pc_block, 0)
+            addrs[body] = (base_line + r_arr % ring_lines) << LINE_SHIFT
+            flags[body] = FLAG_STORE
+            pcs[body + 1] = _pc(pc_block, 1)
+            addrs[body + 1] = (
+                base_line + (r_arr - lag) % ring_lines
+            ) << LINE_SHIFT
+            flags[body + 1] = FLAG_LOAD
+            if gap:
+                fpc, _, ffl = bulk_filler(br, gap * K, pc_block,
+                                          mispredict_rate)
+                fpos = (
+                    (body + 2)[:, None] + np.arange(gap, dtype=np.int64)
+                ).ravel()
+                pcs[fpos] = fpc
+                flags[fpos] = ffl
+            builder.extend(pcs, addrs, flags)
+            br.sync()
+    _scalar_emit_producer_consumer(
+        builder, rng, instructions, base_line, pc_block,
+        ring_lines=ring_lines, lag=lag, sync_every=sync_every, gap=gap,
+        mispredict_rate=mispredict_rate,
+        _state=(K, emitted),
+    )
+
+
 # --------------------------------------------------------------------------
 # public emitters (vectorized, scalar under ``scalar_generators()``)
 # --------------------------------------------------------------------------
@@ -1145,6 +1334,57 @@ def emit_compute(builder, rng, instructions, base_line, pc_block,
          memory_ratio=memory_ratio, working_set_lines=working_set_lines,
          mispredict_rate=mispredict_rate,
          streaming_fraction=streaming_fraction)
+
+
+def emit_strided_drift(builder, rng, instructions, base_line, pc_block,
+                       base_stride=1, stride_span=4, drift_every=64,
+                       gap=2, mispredict_rate=0.002,
+                       elements_per_line=8) -> None:
+    """Strided scan whose stride drifts over time (blocked-matrix walk).
+
+    Like :func:`emit_stream` but the stride steps through
+    ``stride_span`` values, advancing every ``drift_every`` lines —
+    the shape of a tiled traversal whose leading dimension grows (or a
+    structure-of-arrays scan with per-field phases).  Stride
+    prefetchers lock onto each plateau quickly, then misfire across
+    every drift boundary; the boundary's first load is additionally
+    *address-dependent* (the next tile's base pointer), so those
+    misses are serialised and an accurate off-chip predictor still has
+    headroom where the prefetcher stumbles.
+    """
+    impl = _scalar_emit_strided_drift \
+        if _use_scalar or instructions < _VEC_MIN \
+        else _vec_emit_strided_drift
+    impl(builder, rng, instructions, base_line, pc_block,
+         base_stride=base_stride, stride_span=stride_span,
+         drift_every=drift_every, gap=gap,
+         mispredict_rate=mispredict_rate,
+         elements_per_line=elements_per_line)
+
+
+def emit_producer_consumer(builder, rng, instructions, base_line, pc_block,
+                           ring_lines=1 << 12, lag=8, sync_every=16,
+                           gap=3, mispredict_rate=0.005) -> None:
+    """Producer-consumer traffic over a shared ring buffer.
+
+    Each round writes the ring's head line and reads the line ``lag``
+    slots behind it; every ``sync_every`` rounds both sides touch a
+    shared control line (a dependent load of the head counter plus a
+    store publishing the tail) — the communication skeleton of
+    pipeline-parallel PARSEC workloads.  Run on several cores of a mix
+    with the same ring region (see
+    :func:`repro.workloads.generators.make_producer_consumer_workload`'s
+    ``region_seed``), the cores genuinely share LLC lines, which is the
+    paper's multicore contention scenario in miniature.  ``ring_lines``
+    decides whether the ring is LLC-resident (hits after warmup) or
+    streams through DRAM.
+    """
+    impl = _scalar_emit_producer_consumer \
+        if _use_scalar or instructions < _VEC_MIN \
+        else _vec_emit_producer_consumer
+    impl(builder, rng, instructions, base_line, pc_block,
+         ring_lines=ring_lines, lag=lag, sync_every=sync_every, gap=gap,
+         mispredict_rate=mispredict_rate)
 
 
 # --------------------------------------------------------------------------
@@ -1287,6 +1527,63 @@ def make_datacenter_workload(name, suite, seed, length,
     ])
 
 
+def make_phase_shift_workload(name, suite, seed, length,
+                              working_set_lines=1 << 14,
+                              phases=5) -> Trace:
+    """Phase-shifting composite: friendly/adverse alternation with a
+    drifting blend (later phases run longer and stride differently).
+
+    Where :func:`make_phased_workload` pins four fixed phases, this
+    family sweeps the friendly/adverse balance across ``phases``
+    segments — the regime a per-epoch coordination policy must track
+    without oscillating.
+    """
+    base = (seed % 937) << 14
+    plan = []
+    for p in range(phases):
+        weight = 1.0 + 0.5 * p / max(1, phases - 1)
+        region = base + p * (1 << 21)
+        if p % 2 == 0:
+            plan.append((weight, emit_stream,
+                         dict(base_line=region, pc_block=1,
+                              stride=1 + (p // 2) % 3, store_every=12)))
+        elif p % 4 == 1:
+            plan.append((weight, emit_hash_probe,
+                         dict(base_line=region, pc_block=4,
+                              working_set_lines=working_set_lines)))
+        else:
+            plan.append((weight, emit_pointer_chase,
+                         dict(base_line=region, pc_block=3,
+                              working_set_lines=working_set_lines)))
+    return _compose(name, suite, seed, length, plan)
+
+
+def make_strided_drift_workload(name, suite, seed, length,
+                                base_stride=1, stride_span=4,
+                                drift_every=64) -> Trace:
+    return _compose(name, suite, seed, length, [
+        (1.0, emit_strided_drift,
+         dict(base_line=(seed % 929) << 13, pc_block=10,
+              base_stride=base_stride, stride_span=stride_span,
+              drift_every=drift_every)),
+    ])
+
+
+def make_producer_consumer_workload(name, suite, seed, length,
+                                    ring_lines=1 << 12, lag=8,
+                                    sync_every=16,
+                                    region_seed=None) -> Trace:
+    """Producer-consumer ring traffic; ``region_seed`` pins the ring's
+    address region so several mix members can share the same lines
+    (pass one value to every core of a sharing mix)."""
+    base_seed = seed if region_seed is None else region_seed
+    return _compose(name, suite, seed, length, [
+        (1.0, emit_producer_consumer,
+         dict(base_line=(base_seed % 919) << 13, pc_block=11,
+              ring_lines=ring_lines, lag=lag, sync_every=sync_every)),
+    ])
+
+
 #: generator registry keyed by pattern family name (used by the suites).
 GENERATORS: Dict[str, Callable[..., Trace]] = {
     "streaming": make_streaming_workload,
@@ -1298,4 +1595,7 @@ GENERATORS: Dict[str, Callable[..., Trace]] = {
     "compute": make_compute_workload,
     "phased": make_phased_workload,
     "datacenter": make_datacenter_workload,
+    "phase_shift": make_phase_shift_workload,
+    "strided_drift": make_strided_drift_workload,
+    "producer_consumer": make_producer_consumer_workload,
 }

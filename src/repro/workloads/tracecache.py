@@ -62,15 +62,18 @@ class TraceCacheStats:
 
 
 def fingerprint(spec, length: int) -> str:
-    """Content hash of one compiled-trace recipe."""
+    """Content hash of one compiled-trace recipe.
+
+    The identity fields come from
+    :meth:`~repro.workloads.suites.WorkloadSpec.canonical_recipe` —
+    the same recipe the engine hashes into its result keys — so for an
+    external trace the fingerprint covers the file's sha256 and
+    adapter parameters but never its path.
+    """
     recipe = {
         "schema": TRACE_SCHEMA,
-        "name": spec.name,
-        "suite": spec.suite,
-        "pattern": spec.pattern,
-        "seed": spec.seed,
-        "params": [[k, v] for k, v in spec.params],
         "length": length,
+        **spec.canonical_recipe(),
     }
     blob = json.dumps(recipe, sort_keys=True, separators=(",", ":"),
                       default=repr)

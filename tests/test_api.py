@@ -78,7 +78,9 @@ class TestRegistry:
         assert "pythia" in registry.names("prefetcher")
         assert registry.names("ocp") == ["hmp", "popet", "ttp"]
         assert registry.names("design") == ["cd1", "cd2", "cd3", "cd4"]
-        assert registry.names("suite") == ["evaluation", "google", "tuning"]
+        assert registry.names("suite") == \
+            ["evaluation", "extended", "google", "tuning"]
+        assert registry.names("trace_adapter") == ["memtrace", "npz"]
 
     def test_unknown_names_raise_value_error(self):
         for kind in ("policy", "prefetcher", "ocp", "design", "suite"):

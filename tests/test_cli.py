@@ -156,6 +156,57 @@ class TestSweep:
         assert notes.read_text() == "do not clobber me"
 
 
+class TestTrace:
+    def _write(self, tmp_path):
+        path = tmp_path / "demo.csv"
+        path.write_text("0x400000,L,0x10000\n0x400004,N\n"
+                        "0x400008,S,0x10040\n")
+        return path
+
+    def test_import_prints_identity_and_stats(self, capsys, tmp_path):
+        path = self._write(tmp_path)
+        assert main(["trace", "import", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "sha256:" in out
+        assert "fingerprint:" in out
+        assert "trace://" in out
+        assert "instructions:     3" in out
+
+    def test_import_missing_file_exits_nonzero(self, capsys):
+        assert main(["trace", "import", "/no/such/file.csv"]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_import_malformed_file_names_line(self, capsys, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("0x400000,L\n")
+        assert main(["trace", "import", str(path)]) == 2
+        assert "bad.csv:1" in capsys.readouterr().err
+
+    def test_inspect_external_and_registry(self, capsys, tmp_path):
+        path = self._write(tmp_path)
+        assert main(["trace", "inspect", str(path)]) == 0
+        assert "external" in capsys.readouterr().out
+        assert main(["trace", "inspect", "ext.producer_consumer.0",
+                     "--length", "2000"]) == 0
+        assert "producer_consumer" in capsys.readouterr().out
+
+    def test_inspect_path_with_uri_metacharacters(self, capsys, tmp_path):
+        path = tmp_path / "a?b %20.csv"
+        path.write_text("0x400000,N\n")
+        assert main(["trace", "inspect", str(path)]) == 0
+        assert "instructions:     1" in capsys.readouterr().out
+
+    def test_inspect_unknown_workload_exits_nonzero(self, capsys):
+        assert main(["trace", "inspect", "no.such.workload"]) == 2
+        assert "no workload named" in capsys.readouterr().err
+
+    def test_run_accepts_trace_source(self, capsys, tmp_path):
+        path = self._write(tmp_path)
+        assert main(["run", f"trace://{path}", "--policy", "none",
+                     "--length", "1000"]) == 0
+        assert "speedup:" in capsys.readouterr().out
+
+
 class TestArgparse:
     def test_no_command_is_an_error(self):
         with pytest.raises(SystemExit):

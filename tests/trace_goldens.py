@@ -33,11 +33,13 @@ LENGTHS = (2_500, 6_337)
 def all_specs():
     from repro.workloads.suites import (
         evaluation_workloads,
+        extended_workloads,
         google_workloads,
         tuning_workloads,
     )
 
-    return evaluation_workloads() + tuning_workloads() + google_workloads()
+    return (evaluation_workloads() + tuning_workloads()
+            + google_workloads() + extended_workloads())
 
 
 def trace_digest(trace) -> str:
