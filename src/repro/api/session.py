@@ -31,6 +31,7 @@ from typing import Iterable, Iterator, List, Optional, Union
 from ..engine.api import Engine
 from ..engine.pool import ProgressFn
 from ..engine.store import ResultStore
+from ..obs.spans import span
 from ..experiments.runner import ExperimentContext, geomean
 from ..workloads.suites import SCALES, ReproScale, active_scale
 from .results import (
@@ -69,6 +70,11 @@ class Session:
     progress:
         ``fn(done, total, key)`` callback invoked as batch simulations
         finish.
+    telemetry:
+        Path for an append-only JSONL run journal (one event per
+        engine request; see :mod:`repro.obs.journal`).  Defaults to the
+        ``REPRO_TELEMETRY`` environment variable; ``None`` with the
+        variable unset means no journal and no span collection.
     """
 
     def __init__(
@@ -78,6 +84,7 @@ class Session:
         scale: Union[ReproScale, str, None] = None,
         engine: Optional[Engine] = None,
         progress: Optional[ProgressFn] = None,
+        telemetry: Union[str, pathlib.Path, None] = None,
     ) -> None:
         if isinstance(scale, str):
             try:
@@ -88,18 +95,20 @@ class Session:
                 ) from None
         self.scale = scale if scale is not None else active_scale()
         if engine is not None:
-            if store is not None or jobs != 1 or progress is not None:
+            if store is not None or jobs != 1 or progress is not None \
+                    or telemetry is not None:
                 raise ValueError(
                     "Session(engine=...) already carries its own store/"
-                    "jobs/progress; passing them too would silently "
-                    "ignore them"
+                    "jobs/progress/telemetry; passing them too would "
+                    "silently ignore them"
                 )
             self.engine = engine
             self._owns_engine = False
         else:
             if store is not None and not isinstance(store, ResultStore):
                 store = ResultStore(store)
-            self.engine = Engine(store=store, jobs=jobs, progress=progress)
+            self.engine = Engine(store=store, jobs=jobs, progress=progress,
+                                 telemetry=telemetry)
             self._owns_engine = True
         self._ctx = ExperimentContext(scale=self.scale, engine=self.engine)
 
@@ -211,8 +220,12 @@ class Session:
             # One shared planner (spec.plan) with pre-resolved inputs:
             # the prefetch keys and the per-cell evaluation keys come
             # from the same code path and cannot drift.
-            ctx.prefetch(spec.plan(ctx, workloads=workloads,
-                                   designs=designs))
+            with span("plan", kind="sweep") as sp:
+                planned = spec.plan(ctx, workloads=workloads,
+                                    designs=designs)
+            if sp is not None:
+                self.engine.journal_event("span", **sp)
+            ctx.prefetch(planned)
         cells = {}
         per_column = {label: [] for label, _, _ in columns}
         for wspec in workloads:
@@ -310,12 +323,15 @@ class Session:
         # and the evaluation below.
         planned_sections = []
         requests = []
-        for kind, section in spec.sections():
-            planned = None
-            if kind in ("sweep", "run", "mix"):
-                planned = section.plan(ctx)
-                requests.extend([planned] if kind == "mix" else planned)
-            planned_sections.append((kind, section, planned))
+        with span("plan", kind="experiment", experiment=spec.name) as sp:
+            for kind, section in spec.sections():
+                planned = None
+                if kind in ("sweep", "run", "mix"):
+                    planned = section.plan(ctx)
+                    requests.extend([planned] if kind == "mix" else planned)
+                planned_sections.append((kind, section, planned))
+        if sp is not None:
+            self.engine.journal_event("span", **sp)
         executed_before = set(self.engine.executed_keys)
         if requests:
             self.engine.run_many(requests)

@@ -31,6 +31,11 @@ numbers live in the output:
 single-core geomean against a checked-in baseline file and exits
 non-zero if it regressed by more than ``--tolerance`` (CI's
 ``bench-smoke`` job).
+
+Every run also appends a compact provenance-stamped record (git commit,
+dirty flag, hostname, normalized geomean) to ``BENCH_history.jsonl``;
+``repro bench --trend`` renders that file as the cross-PR throughput
+trajectory without re-benchmarking anything.
 """
 
 from __future__ import annotations
@@ -43,6 +48,9 @@ import time
 from typing import List, Optional, Sequence, Tuple
 
 BENCH_SCHEMA = 2
+
+#: schema of one ``BENCH_history.jsonl`` line (see :func:`history_entry`).
+HISTORY_SCHEMA = 1
 
 PHASES = ("sim", "traces", "multicore")
 
@@ -268,15 +276,23 @@ def run_bench(
         trace_build_length = 24_000
         mixes = DEFAULT_MIXES[:1]
 
+    from repro.obs.journal import provenance
+
     calibration = _calibrate(1 if quick else 3)
     report = {
         "schema": BENCH_SCHEMA,
         "unit": "simulated instructions per second (cold Simulator.run)",
         "quick": quick,
         "phases": list(phases),
+        "timestamp": time.time(),
         "python": platform.python_version(),
         "machine": platform.machine(),
         "calibration_mops": calibration,
+        # run provenance: which commit (and how clean a tree) produced
+        # these numbers, so history entries are attributable.  Resolved
+        # against the source tree, not the cwd — the benchmark measures
+        # this code wherever the user happens to invoke it from.
+        **provenance(pathlib.Path(__file__).resolve().parent),
     }
 
     cells = []
@@ -400,6 +416,106 @@ def check_regression(report: dict, baseline_path: pathlib.Path,
         f"{base_score:,.1f} ({ratio:.2f}x, floor {floor:,.1f})"
     )
     return current >= floor, message
+
+
+# ---------------------------------------------------------------------------
+# cross-run history (BENCH_history.jsonl, ``repro bench --trend``)
+# ---------------------------------------------------------------------------
+
+def history_entry(report: dict) -> dict:
+    """The compact cross-run record appended to ``BENCH_history.jsonl``:
+    provenance plus the headline geomeans, no per-cell detail."""
+    entry = {
+        "schema": HISTORY_SCHEMA,
+        "timestamp": report.get("timestamp"),
+        "quick": report.get("quick"),
+        "hostname": report.get("hostname"),
+        "git_commit": report.get("git_commit"),
+        "git_dirty": report.get("git_dirty"),
+        "calibration_mops": report.get("calibration_mops"),
+    }
+    for key in ("geomean_ips", "geomean_ips_per_mop",
+                "geomean_speedup_vs_reference",
+                "geomean_trace_build_speedup"):
+        if key in report:
+            entry[key] = report[key]
+    return entry
+
+
+def append_history(report: dict, path: pathlib.Path) -> dict:
+    """Append one run's :func:`history_entry` to the history JSONL."""
+    path = pathlib.Path(path)
+    if path.parent != pathlib.Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    entry = history_entry(report)
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(entry, separators=(",", ":")) + "\n")
+    return entry
+
+
+def load_history(path: pathlib.Path) -> List[dict]:
+    """Parse a history JSONL, oldest first; [] for a missing file.
+    Unparseable lines are skipped (a torn tail from a crashed append
+    must not orphan the rest of the history)."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        return []
+    entries = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if not line.strip():
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(entry, dict):
+            entries.append(entry)
+    return entries
+
+
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def _sparkline(values: List[float]) -> str:
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return _SPARK[3] * len(values)
+    scale = (len(_SPARK) - 1) / (hi - lo)
+    return "".join(_SPARK[round((v - lo) * scale)] for v in values)
+
+
+def format_trend(entries: List[dict]) -> str:
+    """The cross-run throughput trajectory (``repro bench --trend``).
+
+    Rows are normalized (calibration-relative) geomeans, so runs from
+    machines of different speeds still chart one trajectory; a ``*``
+    after the commit marks a dirty working tree.
+    """
+    scored = [e for e in entries if e.get("geomean_ips_per_mop")]
+    if not scored:
+        return "bench history: no runs with a normalized geomean yet"
+    lines = [
+        f"bench history: {len(scored)} runs (normalized geomean ips/Mop)",
+        "  " + _sparkline([e["geomean_ips_per_mop"] for e in scored]),
+        "",
+        f"{'commit':12s} {'when':>16s} {'norm':>10s} {'vs prev':>8s}",
+    ]
+    prev = None
+    for entry in scored:
+        commit = (entry.get("git_commit") or "?")[:10]
+        if entry.get("git_dirty"):
+            commit += "*"
+        ts = entry.get("timestamp")
+        when = time.strftime("%Y-%m-%d %H:%M", time.localtime(ts)) \
+            if ts else "-"
+        score = entry["geomean_ips_per_mop"]
+        delta = f"{score / prev:.2f}x" if prev else "-"
+        quick = " (quick)" if entry.get("quick") else ""
+        lines.append(
+            f"{commit:12s} {when:>16s} {score:>10,.1f} {delta:>8s}{quick}"
+        )
+        prev = score
+    return "\n".join(lines)
 
 
 def format_report(report: dict) -> str:

@@ -28,6 +28,16 @@ Commands
     workload.
 ``classify``
     Split the evaluation workloads into prefetcher-friendly/adverse.
+``obs``
+    Aggregate a telemetry run journal (written by any engine-backed
+    command run with ``--telemetry PATH``): ``obs summary`` breaks a
+    run down by phase and worker, ``obs spans`` totals span names,
+    ``obs validate`` schema-checks every event, ``obs export`` emits
+    the final metrics snapshot as Prometheus text or JSON.
+``bench``
+    Measure simulation throughput; every run is appended (with git
+    commit + machine provenance) to ``BENCH_history.jsonl``, and
+    ``bench --trend`` charts that cross-run trajectory.
 
 The CLI is a thin shell over :mod:`repro.api`: every command builds the
 same typed specs (:class:`~repro.api.RunSpec`,
@@ -142,6 +152,30 @@ def _build_parser():
         help="build length for registry workloads (default 6000; "
              "external files use their native length)")
 
+    obs = sub.add_parser(
+        "obs", help="inspect telemetry run journals (--telemetry PATH)"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_summary = obs_sub.add_parser(
+        "summary",
+        help="per-phase time and per-worker request breakdown",
+    )
+    obs_spans = obs_sub.add_parser(
+        "spans", help="per-span-name wall/cpu totals"
+    )
+    obs_validate = obs_sub.add_parser(
+        "validate", help="schema-check every journal event"
+    )
+    obs_export = obs_sub.add_parser(
+        "export", help="export the final metrics snapshot"
+    )
+    obs_export.add_argument(
+        "--format", choices=("prometheus", "json"), default="prometheus",
+        help="output format (default: prometheus text exposition)")
+    for obs_parser in (obs_summary, obs_spans, obs_validate, obs_export):
+        obs_parser.add_argument("journal", metavar="JOURNAL",
+                                help="run journal JSONL path")
+
     sub.add_parser("classify",
                    help="friendly/adverse split of the workload pool")
 
@@ -173,6 +207,14 @@ def _build_parser():
     bench.add_argument("--tolerance", type=float, default=0.30,
                        help="allowed fractional regression for --check "
                             "(default 0.30)")
+    bench.add_argument("--history", default=None, metavar="PATH",
+                       help="cross-run history JSONL (default: "
+                            "BENCH_history.jsonl next to --output)")
+    bench.add_argument("--no-history", action="store_true",
+                       help="do not append this run to the history file")
+    bench.add_argument("--trend", action="store_true",
+                       help="render the recorded throughput trajectory "
+                            "and exit (no benchmarking)")
     return parser
 
 
@@ -185,6 +227,9 @@ def _add_engine_args(parser) -> None:
                              "~/.cache/repro/results.sqlite)")
     parser.add_argument("--no-store", action="store_true",
                         help="run without a persistent result store")
+    parser.add_argument("--telemetry", default=None, metavar="PATH",
+                        help="append a JSONL run journal of engine events "
+                             "for `repro obs` (default: $REPRO_TELEMETRY)")
 
 
 def _make_session(args):
@@ -195,7 +240,8 @@ def _make_session(args):
     # Session coerces a path to a ResultStore; None means no store, so
     # the default path must be made explicit when --store is omitted.
     store = None if args.no_store else (args.store or default_store_path())
-    return Session(store=store, jobs=args.jobs, progress=_progress)
+    return Session(store=store, jobs=args.jobs, progress=_progress,
+                   telemetry=args.telemetry)
 
 
 def _progress(done: int, total: int, key: str) -> None:
@@ -460,11 +506,73 @@ def _cmd_classify() -> int:
     return 0
 
 
+def _cmd_obs(args) -> int:
+    import json
+    import pathlib
+
+    from .obs import journal as obs_journal
+
+    path = pathlib.Path(args.journal)
+    if not path.exists():
+        return _fail(f"journal {path} not found")
+
+    if args.obs_command == "validate":
+        errors = obs_journal.validate_journal(path)
+        if errors:
+            for error in errors:
+                print(error, file=sys.stderr)
+            print(f"{path}: {len(errors)} schema errors", file=sys.stderr)
+            return 1
+        events = sum(1 for _ in obs_journal.read_journal(path))
+        print(f"{path}: {events} events OK")
+        return 0
+
+    try:
+        if args.obs_command == "summary":
+            summary = obs_journal.summarize_journal(path)
+            print(obs_journal.format_summary(summary))
+            return 0
+        if args.obs_command == "spans":
+            print(obs_journal.format_spans(obs_journal.aggregate_spans(path)))
+            return 0
+        # export: the metrics snapshot from the final summary event
+        last = None
+        for _, event in obs_journal.read_journal(path):
+            if event.get("type") == "summary":
+                last = event
+    except (OSError, ValueError) as exc:
+        return _fail(str(exc))
+    if last is None:
+        return _fail(
+            f"{path} has no summary event (the run did not close cleanly)"
+        )
+    snapshot = last.get("metrics") or {}
+    if args.format == "json":
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    else:
+        from .obs.metrics import prometheus_text
+
+        print(prometheus_text(snapshot), end="")
+    return 0
+
+
 def _cmd_bench(args) -> int:
     import json
     import pathlib
 
     from . import bench as throughput
+
+    history = pathlib.Path(
+        args.history if args.history
+        else pathlib.Path(args.output).with_name("BENCH_history.jsonl")
+    )
+    if args.trend:
+        entries = throughput.load_history(history)
+        if not entries:
+            return _fail(f"no bench history at {history} "
+                         f"(run `repro bench` first)")
+        print(throughput.format_trend(entries))
+        return 0
 
     kwargs = {}
     if args.workloads:
@@ -490,6 +598,9 @@ def _cmd_bench(args) -> int:
     out = pathlib.Path(args.output)
     out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {out}")
+    if not args.no_history:
+        throughput.append_history(report, history)
+        print(f"appended run to {history} (view with `repro bench --trend`)")
 
     if args.check:
         baseline = pathlib.Path(args.check)
@@ -523,6 +634,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_trace(args)
     if args.command == "classify":
         return _cmd_classify()
+    if args.command == "obs":
+        return _cmd_obs(args)
     if args.command == "bench":
         return _cmd_bench(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -11,18 +11,32 @@ resolves through three tiers:
    :class:`~repro.engine.pool.SimulationPool` when ``jobs > 1``, inline
    otherwise — after which the result is written back to the store.
 
-The engine counts hits and misses per tier
-(:class:`EngineCounters`); ``repro figures``/``repro sweep`` print the
-summary so a warm rerun can be *verified* to have executed zero
-simulations.
+The engine counts hits and misses per tier (:class:`EngineCounters`,
+a typed view over a :class:`~repro.obs.metrics.MetricsRegistry`);
+``repro figures``/``repro sweep`` print the summary so a warm rerun can
+be *verified* to have executed zero simulations.
+
+With telemetry active (``telemetry=PATH`` or ``REPRO_TELEMETRY``) the
+engine additionally appends one event per resolved request to an
+append-only JSONL run journal (:class:`~repro.obs.journal.RunJournal`):
+content key, the tier that served it, wall time, worker id, and phase
+spans — worker-side spans ride back on the result payload and merge
+into the parent exactly once, the same mechanism as the trace-cache
+delta.  ``repro obs summary`` aggregates the journal offline.
 """
 
 from __future__ import annotations
 
+import os
+import time
 from concurrent.futures import FIRST_COMPLETED, wait
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
+from ..obs.journal import RunJournal, provenance
+from ..obs.metrics import MetricsRegistry
+from ..obs.spans import collector, set_enabled, spans_enabled
+from ..sim.multicore import MultiCoreResult
 from .jobs import Request, Result, decode_result
 from .pool import ProgressFn, SimulationPool, _execute_request
 from .store import ResultStore, StoreDecodeError
@@ -39,9 +53,27 @@ class Completed:
     cached: bool        #: True when served from memo/store, not executed
 
 
-@dataclass
+def _counter_view(field: str, help: str) -> property:
+    """An int-typed read/write view over one registry counter."""
+    metric = "engine_" + field
+
+    def _get(self) -> int:
+        return int(self.registry.counter(metric).value)
+
+    def _set(self, value) -> None:
+        self.registry.counter(metric).value = float(value)
+
+    return property(_get, _set, doc=help)
+
+
 class EngineCounters:
     """Hit/miss accounting for one engine lifetime.
+
+    The fields are typed views over an :class:`~repro.obs.metrics.
+    MetricsRegistry` (the engine's), so the same numbers are readable
+    three ways: the attributes below, :meth:`to_dict` for
+    machine-readable output (the run journal's final ``summary``
+    event), and the registry's Prometheus export.
 
     ``trace_hits``/``trace_builds`` aggregate the compiled-trace cache
     activity of every executed simulation — including pool workers,
@@ -49,21 +81,41 @@ class EngineCounters:
     warm engine run can be *verified* to have regenerated no traces.
     """
 
-    memo_hits: int = 0
-    store_hits: int = 0
-    executed: int = 0
-    trace_hits: int = 0
-    trace_builds: int = 0
+    _FIELDS = ("memo_hits", "store_hits", "executed",
+               "trace_hits", "trace_builds")
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+        for field in self._FIELDS:  # pre-create: exports stay complete
+            self.registry.counter("engine_" + field)
+
+    memo_hits = _counter_view(
+        "memo_hits", "results served from the in-memory memo")
+    store_hits = _counter_view(
+        "store_hits", "results replayed from the persistent store")
+    executed = _counter_view(
+        "executed", "simulations actually executed")
+    trace_hits = _counter_view(
+        "trace_hits", "compiled-trace cache hits across all workers")
+    trace_builds = _counter_view(
+        "trace_builds", "traces generated from specs across all workers")
 
     @property
     def total(self) -> int:
         return self.memo_hits + self.store_hits + self.executed
 
     def apply_trace_delta(self, delta) -> None:
-        """Fold one worker payload's ``_trace_cache`` delta in."""
+        """Fold one worker payload's trace-cache delta in."""
         if delta:
             self.trace_hits += delta.get("hits", 0)
             self.trace_builds += delta.get("builds", 0)
+
+    def to_dict(self) -> dict:
+        """Machine-readable snapshot (journal ``summary`` events)."""
+        out = {field: getattr(self, field) for field in self._FIELDS}
+        out["total"] = self.total
+        return out
 
     def summary(self) -> str:
         return (
@@ -83,6 +135,7 @@ class Engine:
         jobs: int = 1,
         pool: Optional[SimulationPool] = None,
         progress: Optional[ProgressFn] = None,
+        telemetry: Union[RunJournal, str, os.PathLike, None] = None,
     ) -> None:
         self.store = store
         self.jobs = max(1, int(jobs)) if pool is None else (pool.jobs or 1)
@@ -92,9 +145,25 @@ class Engine:
         #: engine lifetime; lets callers attribute executions to their
         #: own requests, immune to concurrently harvested foreign work.
         self.executed_keys: set = set()
-        self.counters = EngineCounters()
+        #: every engine metric lives here; the counters are typed views.
+        self.metrics = MetricsRegistry()
+        self.counters = EngineCounters(self.metrics)
         #: default progress callback for batches that don't pass one.
         self.progress = progress
+        # -- run journal: explicit argument, else the environment -----------
+        if telemetry is None:
+            telemetry = os.environ.get("REPRO_TELEMETRY") or None
+        self._journal: Optional[RunJournal] = None
+        self._owns_journal = False
+        if telemetry is not None:
+            if isinstance(telemetry, RunJournal):
+                self._journal = telemetry
+            else:
+                self._journal = RunJournal(telemetry)
+                self._owns_journal = True
+            set_enabled(True)  # spans on; workers inherit at submit time
+            self._journal.event("start", pid=os.getpid(), jobs=self.jobs,
+                                **provenance())
 
     # -- plumbing ----------------------------------------------------------
 
@@ -110,9 +179,11 @@ class Engine:
 
     def _lookup(self, key: str) -> Optional[Result]:
         """Resolve ``key`` through memo then store; None on miss."""
+        t0 = time.perf_counter() if self._journal is not None else 0.0
         cached = self._memo.get(key)
         if cached is not None:
             self.counters.memo_hits += 1
+            self._journal_hit(key, "memo", cached, t0)
             return cached
         if self.store is not None:
             payload = self.store.get(key)
@@ -124,8 +195,34 @@ class Engine:
                 else:
                     self.counters.store_hits += 1
                     self._memo[key] = result
+                    self._journal_hit(key, "store", result, t0)
                     return result
         return None
+
+    # -- telemetry ---------------------------------------------------------
+
+    @property
+    def telemetry_active(self) -> bool:
+        return self._journal is not None
+
+    def journal_event(self, type: str, **fields) -> None:
+        """Append one event to the run journal (no-op when inactive).
+
+        Higher layers use this for parent-side phases that are not tied
+        to a single request (e.g. the Session's ``plan`` span).
+        """
+        if self._journal is not None:
+            self._journal.event(type, **fields)
+
+    def _journal_hit(self, key: str, outcome: str, result: Result,
+                     t0: float) -> None:
+        if self._journal is None:
+            return
+        kind = "mix" if isinstance(result, MultiCoreResult) else "run"
+        self._journal.event(
+            "request", key=key, outcome=outcome, kind=kind,
+            wall_s=time.perf_counter() - t0, worker=None, spans=[],
+        )
 
     def _harvest_inflight(self) -> None:
         """Record completed pool futures left by abandoned iterators.
@@ -146,13 +243,32 @@ class Engine:
                 continue
 
     def _record(self, key: str, payload: dict) -> Result:
-        self.counters.apply_trace_delta(payload.pop("_trace_cache", None))
+        obs = payload.pop("_obs", None) or {}
+        self.counters.apply_trace_delta(obs.get("trace_cache"))
         result = decode_result(payload)
+        spans = obs.get("spans") or []
+        if spans:
+            # Worker-side spans merge into the parent collector here —
+            # and only here, so each executed request contributes its
+            # spans exactly once no matter which engine path records it.
+            collector().merge(spans)
         if self.store is not None:
-            self.store.put(key, payload)
+            if self._journal is not None:
+                with collector().span("store_write") as write_span:
+                    self.store.put(key, payload)
+                if write_span is not None:
+                    spans = spans + [write_span]
+            else:
+                self.store.put(key, payload)
         self._memo[key] = result
         self.executed_keys.add(key)
         self.counters.executed += 1
+        if self._journal is not None:
+            self._journal.event(
+                "request", key=key, outcome="executed",
+                kind=payload.get("kind"), wall_s=obs.get("wall_s"),
+                worker=obs.get("worker"), spans=spans,
+            )
         return result
 
     # -- execution ---------------------------------------------------------
@@ -175,7 +291,7 @@ class Engine:
                 payload = future.result()
                 self._pool.discard(key)
                 return self._record(key, payload)
-        return self._record(key, _execute_request(request))
+        return self._record(key, _execute_request(request, spans_enabled()))
 
     def run_many(
         self,
@@ -203,7 +319,8 @@ class Engine:
                     self._record(key, payload)
             else:
                 for done, (key, request) in enumerate(pairs, start=1):
-                    self._record(key, _execute_request(request))
+                    self._record(
+                        key, _execute_request(request, spans_enabled()))
                     if progress is not None:
                         progress(done, len(pairs), key)
         return [self._memo[key] for key, _ in keyed]
@@ -274,8 +391,11 @@ class Engine:
                         if result is None:
                             result = self._record(key, future.result())
                         else:
+                            obs = future.result().pop("_obs", None) or {}
                             self.counters.apply_trace_delta(
-                                future.result().pop("_trace_cache", None))
+                                obs.get("trace_cache"))
+                            if obs.get("spans"):
+                                collector().merge(obs["spans"])
                         recorded.add(key)
                         self.pool.discard(key)
                         done_count += 1
@@ -311,7 +431,8 @@ class Engine:
             for index, key, request, cached in hits:
                 yield Completed(index, key, request, cached, cached=True)
             for done_count, (key, request) in enumerate(misses.items(), 1):
-                result = self._record(key, _execute_request(request))
+                result = self._record(
+                    key, _execute_request(request, spans_enabled()))
                 if progress is not None:
                     progress(done_count, total, key)
                 for index in miss_indices[key]:
@@ -332,8 +453,24 @@ class Engine:
         if self._pool is not None:
             self._pool.close()
             self._pool = None
+        self._close_journal()
         if self.store is not None:
             self.store.close()
+
+    def _close_journal(self) -> None:
+        if self._journal is None:
+            return
+        # The machine-readable counters are the journal's final event,
+        # so an offline consumer never needs the formatted summary()
+        # string.
+        self._journal.event("summary", counters=self.counters.to_dict(),
+                            metrics=self.metrics.to_dict())
+        if self._owns_journal:
+            self._journal.close()
+        self._journal = None
+        # Re-derive global span collection from the environment so a
+        # closed telemetry engine does not leave it on process-wide.
+        set_enabled(bool(os.environ.get("REPRO_TELEMETRY")))
 
     def __enter__(self) -> "Engine":
         return self
@@ -359,6 +496,7 @@ def run_many(
     finally:
         if engine._pool is not None:
             engine._pool.close()
+        engine._close_journal()
 
 
 def sweep(
@@ -374,3 +512,4 @@ def sweep(
     finally:
         if engine._pool is not None:
             engine._pool.close()
+        engine._close_journal()

@@ -27,6 +27,7 @@ from dataclasses import dataclass, fields
 from typing import List, Optional, Tuple, Union
 
 from ..core.config import AthenaConfig, RewardWeights
+from ..obs.spans import span
 from ..policies.base import CoordinationAction
 from ..policies.registry import make_policy
 from ..sim.multicore import CoreResult, MultiCoreResult, MultiCoreSimulator
@@ -198,13 +199,15 @@ class RunRequest:
         hierarchy = build_hierarchy(self.design)
         policy = _build_policy(self.policy_name, self.athena_config,
                                self.policy_options)
-        return Simulator(
-            trace,
-            hierarchy,
-            policy=policy,
-            epoch_length=self.epoch_length,
-            warmup_fraction=self.warmup_fraction,
-        ).run()
+        with span("simulate", workload=self.spec.name,
+                  policy=self.policy_name):
+            return Simulator(
+                trace,
+                hierarchy,
+                policy=policy,
+                epoch_length=self.epoch_length,
+                warmup_fraction=self.warmup_fraction,
+            ).run()
 
 
 @dataclass(frozen=True)
@@ -261,7 +264,9 @@ class MixRequest:
             epoch_length=self.epoch_length,
             warmup_fraction=self.warmup_fraction,
         )
-        return sim.run()
+        with span("simulate", policy=self.policy_name,
+                  cores=len(self.workloads)):
+            return sim.run()
 
 
 Request = Union[RunRequest, MixRequest]

@@ -17,28 +17,51 @@ import os
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..obs.spans import collector, set_enabled, spans_enabled
 from .jobs import Request, encode_result
 
 #: progress callback: (completed_count, total, request_key)
 ProgressFn = Callable[[int, int, str], None]
 
 
-def _execute_request(request: Request) -> dict:
+def _execute_request(request: Request, telemetry: bool = False) -> dict:
     """Worker entry point: run the simulation, return its payload.
 
-    The worker's compiled-trace-cache delta rides back on the payload
-    under ``_trace_cache`` (stripped by the engine before the payload is
-    stored or decoded) so parent-side counters see worker cache hits.
+    The worker's observability delta rides back on the payload under
+    ``_obs`` (stripped by the engine before the payload is stored or
+    decoded): the compiled-trace-cache hit/build counts always, plus —
+    when ``telemetry`` is on — the request's phase spans, worker id,
+    and wall time, so parent-side counters, spans, and journal events
+    see work that happened in worker processes.
     """
     from ..workloads.tracecache import trace_cache
 
     stats = trace_cache().stats
     hits0, disk0, builds0 = stats.hits, stats.disk_hits, stats.builds
-    payload = encode_result(request.execute())
-    payload["_trace_cache"] = {
+    if telemetry:
+        # The parent's enablement travels as this submit-time argument
+        # (environment inheritance would break under spawn); idempotent
+        # in the parent's own inline-execution path.
+        set_enabled(True)
+        col = collector()
+        mark = len(col)
+        with col.span("request") as request_span:
+            payload = encode_result(request.execute())
+        obs = {
+            # take_since: exactly this request's spans, leaving anything
+            # recorded before (e.g. parent spans inherited via fork).
+            "spans": col.take_since(mark),
+            "wall_s": request_span["wall_s"],
+            "worker": request_span["worker"],
+        }
+    else:
+        payload = encode_result(request.execute())
+        obs = {}
+    obs["trace_cache"] = {
         "hits": stats.hits + stats.disk_hits - hits0 - disk0,
         "builds": stats.builds - builds0,
     }
+    payload["_obs"] = obs
     return payload
 
 
@@ -61,7 +84,8 @@ class SimulationPool:
         future = self._inflight.get(key)
         if future is not None and not future.done():
             return future
-        future = self.executor.submit(_execute_request, request)
+        future = self.executor.submit(_execute_request, request,
+                                      spans_enabled())
         self._inflight[key] = future
         return future
 

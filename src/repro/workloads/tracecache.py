@@ -37,6 +37,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional
 
+from ..obs.spans import span
 from .trace import Trace
 from .traceio import TraceFormatError, load_trace, save_trace
 
@@ -59,6 +60,15 @@ class TraceCacheStats:
     @property
     def misses(self) -> int:
         return self.disk_hits + self.builds
+
+    def to_dict(self) -> dict:
+        """Machine-readable snapshot (metric exports, journal events)."""
+        return {
+            "hits": self.hits,
+            "disk_hits": self.disk_hits,
+            "builds": self.builds,
+            "evictions": self.evictions,
+        }
 
 
 def fingerprint(spec, length: int) -> str:
@@ -165,7 +175,12 @@ class TraceCache:
                 self.stats.disk_hits += 1
                 self._insert(key, trace)
             return trace
-        trace = spec.build(length)
+        # Only a genuine generator run is a trace_build span: cache and
+        # disk hits above are (near-)free, and a warm run must show zero
+        # of these in its journal.
+        with span("trace_build", workload=getattr(spec, "name", "?"),
+                  length=length):
+            trace = spec.build(length)
         self._store_to_disk(key, trace)
         with self._lock:
             self.stats.builds += 1

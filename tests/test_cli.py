@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -205,6 +207,110 @@ class TestTrace:
         assert main(["run", f"trace://{path}", "--policy", "none",
                      "--length", "1000"]) == 0
         assert "speedup:" in capsys.readouterr().out
+
+
+class TestObs:
+    def _journal(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        path = tmp_path / "run.jsonl"
+        assert main(["sweep", "--workloads", "ligra.BFS.0",
+                     "--designs", "cd1", "--policies", "none,naive",
+                     "--store", str(tmp_path / "s.sqlite"),
+                     "--telemetry", str(path)]) == 0
+        return path
+
+    def test_sweep_telemetry_then_summary(self, capsys, monkeypatch,
+                                          tmp_path):
+        path = self._journal(tmp_path, monkeypatch)
+        capsys.readouterr()
+        assert main(["obs", "summary", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "executed," in out
+        assert "simulate" in out
+        assert "trace_build" in out
+        assert "executed per worker:" in out
+
+    def test_validate_and_spans(self, capsys, monkeypatch, tmp_path):
+        path = self._journal(tmp_path, monkeypatch)
+        capsys.readouterr()
+        assert main(["obs", "validate", str(path)]) == 0
+        assert "events OK" in capsys.readouterr().out
+        assert main(["obs", "spans", str(path)]) == 0
+        assert "simulate" in capsys.readouterr().out
+
+    def test_validate_flags_broken_journal(self, capsys, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ts": 1.0, "type": "nope"}\n{"also": "bad"}\n')
+        assert main(["obs", "validate", str(path)]) == 1
+        assert "schema errors" in capsys.readouterr().err
+
+    def test_export_prometheus_and_json(self, capsys, monkeypatch,
+                                        tmp_path):
+        path = self._journal(tmp_path, monkeypatch)
+        capsys.readouterr()
+        assert main(["obs", "export", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE engine_executed counter" in out
+        assert main(["obs", "export", "--format", "json", str(path)]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert "engine_executed" in snapshot["counters"]
+
+    def test_export_without_summary_event_fails(self, capsys, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        path.write_text('{"ts": 1.0, "type": "start", "schema": 1, '
+                        '"pid": 1}\n')
+        assert main(["obs", "export", str(path)]) == 2
+        assert "no summary event" in capsys.readouterr().err
+
+    def test_missing_journal_fails(self, capsys, tmp_path):
+        assert main(["obs", "summary", str(tmp_path / "nope.jsonl")]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_warm_rerun_journal_is_execution_free(self, capsys,
+                                                  monkeypatch, tmp_path):
+        self._journal(tmp_path, monkeypatch)
+        warm = tmp_path / "warm.jsonl"
+        assert main(["sweep", "--workloads", "ligra.BFS.0",
+                     "--designs", "cd1", "--policies", "none,naive",
+                     "--store", str(tmp_path / "s.sqlite"),
+                     "--telemetry", str(warm)]) == 0
+        capsys.readouterr()
+        assert main(["obs", "summary", str(warm)]) == 0
+        out = capsys.readouterr().out
+        assert "requests: 0 executed" in out
+        # no simulate/trace_build phase rows (padded names; the final
+        # counters line legitimately mentions trace_builds=0)
+        assert "simulate " not in out
+        assert "trace_build " not in out
+        assert "trace_builds=0" in out
+
+
+class TestBenchTrend:
+    def test_trend_renders_appended_history(self, capsys, tmp_path):
+        from repro.bench import append_history
+
+        history = tmp_path / "BENCH_history.jsonl"
+        append_history({"timestamp": 1000.0, "quick": True,
+                        "git_commit": "abc123def456", "git_dirty": False,
+                        "geomean_ips_per_mop": 100.0}, history)
+        assert main(["bench", "--trend", "--history", str(history)]) == 0
+        out = capsys.readouterr().out
+        assert "bench history: 1 runs" in out
+        assert "abc123def4" in out
+
+    def test_trend_default_path_is_next_to_output(self, capsys, tmp_path):
+        from repro.bench import append_history
+
+        append_history({"geomean_ips_per_mop": 50.0},
+                       tmp_path / "BENCH_history.jsonl")
+        assert main(["bench", "--trend",
+                     "--output", str(tmp_path / "bench.json")]) == 0
+        assert "1 runs" in capsys.readouterr().out
+
+    def test_trend_without_history_fails(self, capsys, tmp_path):
+        assert main(["bench", "--trend",
+                     "--history", str(tmp_path / "nope.jsonl")]) == 2
+        assert "no bench history" in capsys.readouterr().err
 
 
 class TestArgparse:

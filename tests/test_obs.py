@@ -1,0 +1,390 @@
+"""Tests for the observability subsystem: spans, metrics, journals,
+engine telemetry, and the bench history trend."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    append_history,
+    format_trend,
+    history_entry,
+    load_history,
+)
+from repro.engine import Engine, ResultStore, RunRequest
+from repro.experiments.configs import CacheDesign
+from repro.obs import (
+    MetricsRegistry,
+    RunJournal,
+    SpanCollector,
+    aggregate_spans,
+    collector,
+    prometheus_text,
+    provenance,
+    read_journal,
+    reset_collector,
+    set_enabled,
+    summarize_journal,
+    validate_event,
+    validate_journal,
+    worker_id,
+)
+from repro.workloads.suites import find_workload
+from repro.workloads.tracecache import reset_trace_cache
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry(monkeypatch):
+    """Every test starts with telemetry off and an empty collector."""
+    monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+    reset_collector()
+    yield
+    reset_collector()
+
+
+def _request(policy="naive", workload="ligra.BFS.0", **overrides):
+    defaults = dict(
+        spec=find_workload(workload),
+        trace_length=2000,
+        design=CacheDesign.cd1(),
+        policy_name=policy,
+        epoch_length=100,
+        warmup_fraction=0.35,
+    )
+    defaults.update(overrides)
+    return RunRequest(**defaults)
+
+
+# ---------------------------------------------------------------------------
+# spans
+# ---------------------------------------------------------------------------
+
+class TestSpans:
+    def test_disabled_records_nothing(self):
+        col = SpanCollector(enabled=False)
+        with col.span("simulate") as sp:
+            assert sp is None
+        assert len(col) == 0
+
+    def test_nesting_produces_paths(self):
+        col = SpanCollector(enabled=True)
+        with col.span("outer"):
+            with col.span("inner"):
+                pass
+        paths = {s["name"]: s["path"] for s in col.spans}
+        assert paths == {"outer": "outer", "inner": "outer/inner"}
+
+    def test_span_times_and_attrs(self):
+        col = SpanCollector(enabled=True)
+        with col.span("simulate", workload="w") as sp:
+            pass
+        assert sp["workload"] == "w"
+        assert sp["wall_s"] >= 0.0
+        assert sp["cpu_s"] >= 0.0
+        assert sp["worker"] == worker_id()
+
+    def test_span_recorded_when_body_raises(self):
+        col = SpanCollector(enabled=True)
+        with pytest.raises(RuntimeError):
+            with col.span("boom"):
+                raise RuntimeError("x")
+        assert [s["name"] for s in col.spans] == ["boom"]
+
+    def test_take_since_removes_only_the_tail(self):
+        col = SpanCollector(enabled=True)
+        with col.span("before"):
+            pass
+        mark = len(col)
+        with col.span("after"):
+            pass
+        taken = col.take_since(mark)
+        assert [s["name"] for s in taken] == ["after"]
+        assert [s["name"] for s in col.spans] == ["before"]
+
+    def test_merge_and_drain(self):
+        col = SpanCollector(enabled=True)
+        col.merge([{"name": "simulate", "wall_s": 0.1, "cpu_s": 0.1}])
+        assert len(col) == 1
+        assert len(col.drain()) == 1
+        assert len(col) == 0
+
+    def test_set_enabled_controls_module_collector(self):
+        assert len(collector()) == 0
+        set_enabled(True)
+        from repro.obs import span
+
+        with span("x"):
+            pass
+        set_enabled(False)
+        with span("y"):
+            pass
+        assert [s["name"] for s in collector().spans] == ["x"]
+
+
+# ---------------------------------------------------------------------------
+# metrics
+# ---------------------------------------------------------------------------
+
+class TestMetrics:
+    def test_counter_monotonic(self):
+        registry = MetricsRegistry()
+        c = registry.counter("hits")
+        c.inc()
+        c.inc(2)
+        assert c.value == 3
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_get_or_create_is_idempotent_and_typed(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        with pytest.raises(ValueError):
+            registry.gauge("a")
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 5.0, 50.0):
+            h.observe(value)
+        assert h.bucket_counts == [1, 2, 3]
+        assert h.count == 4
+        assert h.sum == pytest.approx(55.55)
+
+    def test_to_dict_groups_by_kind(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.gauge("g").set(2)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        snap = registry.to_dict()
+        assert snap["counters"] == {"c": 1.0}
+        assert snap["gauges"] == {"g": 2.0}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_prometheus_export(self):
+        registry = MetricsRegistry()
+        registry.counter("engine_executed", help="runs").inc(3)
+        registry.histogram("lat", buckets=(1.0,)).observe(0.5)
+        text = registry.to_prometheus()
+        assert "# HELP engine_executed runs" in text
+        assert "# TYPE engine_executed counter" in text
+        assert "engine_executed 3" in text
+        assert 'lat_bucket{le="+Inf"} 1' in text
+        assert "lat_count 1" in text
+
+    def test_snapshot_delta_merge_roundtrip(self):
+        worker = MetricsRegistry()
+        worker.counter("x").inc(2)
+        before = worker.snapshot()
+        worker.counter("x").inc(3)
+        worker.counter("y").inc(1)
+        delta = worker.delta_since(before)
+        assert delta == {"x": 3.0, "y": 1.0}
+        parent = MetricsRegistry()
+        parent.merge_delta(delta)
+        assert parent.counter("x").value == 3.0
+
+    def test_prometheus_text_replays_a_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.histogram("h", buckets=(1.0, 2.0)).observe(1.5)
+        snap = json.loads(json.dumps(registry.to_dict()))
+        assert prometheus_text(snap) == registry.to_prometheus()
+
+
+# ---------------------------------------------------------------------------
+# journal
+# ---------------------------------------------------------------------------
+
+class TestJournal:
+    def test_write_read_validate(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path) as journal:
+            journal.event("start", pid=1, jobs=2)
+            journal.event("request", key="k", outcome="executed",
+                          spans=[{"name": "simulate", "wall_s": 0.1,
+                                  "cpu_s": 0.1}])
+            journal.event("summary", counters={"executed": 1})
+        events = [e for _, e in read_journal(path)]
+        assert [e["type"] for e in events] == ["start", "request",
+                                               "summary"]
+        assert events[0]["schema"] == 1
+        assert validate_journal(path) == []
+
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path) as journal:
+            journal.event("start", pid=1)
+        with open(path, "a") as fh:
+            fh.write('{"type": "requ')  # crash mid-write
+        assert len([e for _, e in read_journal(path)]) == 1
+
+    def test_validate_flags_bad_events(self):
+        assert validate_event({"ts": 1.0, "type": "nope"})
+        assert validate_event({"ts": 1.0, "type": "request", "key": "k",
+                               "outcome": "wat", "spans": []})
+        assert "missing/non-numeric ts" in validate_event(
+            {"type": "start", "pid": 1, "schema": 1})
+        assert validate_event({"ts": 1.0, "type": "start", "pid": 1,
+                               "schema": 1}) == []
+
+    def test_summarize_and_aggregate(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path) as journal:
+            journal.event("start", pid=1)
+            journal.event("span", name="plan", wall_s=0.5, cpu_s=0.4)
+            journal.event("request", key="a", outcome="executed",
+                          worker="pid9",
+                          spans=[{"name": "simulate", "wall_s": 2.0,
+                                  "cpu_s": 1.0}])
+            journal.event("request", key="b", outcome="store", worker=None,
+                          spans=[])
+            journal.event("summary", counters={"executed": 1})
+        summary = summarize_journal(path)
+        assert summary["requests"] == {"memo": 0, "store": 1,
+                                       "executed": 1, "total": 2}
+        assert summary["workers"] == {"pid9": 1}
+        assert summary["phases"]["simulate"]["wall_s"] == pytest.approx(2.0)
+        assert summary["phases"]["plan"]["count"] == 1
+        assert summary["counters"] == {"executed": 1}
+        spans = aggregate_spans(path)
+        assert spans[0]["name"] == "simulate"  # sorted by wall desc
+
+    def test_provenance_never_raises(self, tmp_path):
+        info = provenance(tmp_path)  # not a git repo
+        assert info["git_commit"] is None
+        assert info["hostname"]
+        here = provenance(".")
+        assert here["git_commit"] is not None
+
+
+# ---------------------------------------------------------------------------
+# engine telemetry
+# ---------------------------------------------------------------------------
+
+class TestEngineTelemetry:
+    def test_disabled_engine_collects_nothing(self):
+        with Engine() as engine:
+            engine.run(_request())
+        assert len(collector()) == 0
+        assert not engine.telemetry_active
+
+    def test_counters_to_dict(self):
+        with Engine() as engine:
+            engine.run(_request())
+            engine.run(_request())
+        snap = engine.counters.to_dict()
+        assert snap["executed"] == 1
+        assert snap["memo_hits"] == 1
+        assert snap["total"] == 2
+        # the same numbers are visible through the metric registry
+        assert engine.metrics.to_dict()["counters"]["engine_executed"] == 1.0
+
+    def test_inline_run_journals_phases(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        reset_trace_cache()
+        with Engine(telemetry=path) as engine:
+            engine.run(_request())
+        assert validate_journal(path) == []
+        summary = summarize_journal(path)
+        assert summary["requests"]["executed"] == 1
+        for phase in ("simulate", "trace_build", "request"):
+            assert summary["phases"][phase]["count"] >= 1
+        # summary event is the final event and carries the counters
+        events = [e for _, e in read_journal(path)]
+        assert events[-1]["type"] == "summary"
+        assert events[-1]["counters"]["executed"] == 1
+
+    def test_pool_spans_merge_exactly_once(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        requests = [_request(), _request(policy="none")]
+        with Engine(store=ResultStore(tmp_path / "s.sqlite"), jobs=2,
+                    telemetry=path) as engine:
+            engine.run_many(requests)
+            assert engine.counters.executed == 2
+        summary = summarize_journal(path)
+        assert summary["requests"]["executed"] == 2
+        # each executed request contributes exactly one simulate span
+        assert summary["phases"]["simulate"]["count"] == 2
+        # worker attribution sums to the executed count
+        assert sum(summary["workers"].values()) == 2
+        for worker in summary["workers"]:
+            assert worker.startswith("pid")
+
+    def test_warm_rerun_journals_no_execution(self, tmp_path):
+        store = tmp_path / "s.sqlite"
+        requests = [_request(), _request(policy="none")]
+        with Engine(store=ResultStore(store), jobs=2,
+                    telemetry=tmp_path / "cold.jsonl") as engine:
+            engine.run_many(requests)
+        reset_trace_cache()  # a genuinely cold process
+        warm = tmp_path / "warm.jsonl"
+        with Engine(store=ResultStore(store), telemetry=warm) as engine:
+            engine.run_many(requests)
+            assert engine.counters.executed == 0
+            assert engine.counters.trace_builds == 0
+        assert validate_journal(warm) == []
+        summary = summarize_journal(warm)
+        assert summary["requests"]["executed"] == 0
+        assert summary["requests"]["store"] == 2
+        assert "simulate" not in summary["phases"]
+        assert "trace_build" not in summary["phases"]
+
+    def test_closed_engine_restores_span_enablement(self, tmp_path):
+        with Engine(telemetry=tmp_path / "run.jsonl"):
+            assert collector().enabled
+        assert not collector().enabled
+
+
+# ---------------------------------------------------------------------------
+# bench history
+# ---------------------------------------------------------------------------
+
+def _fake_report(score, commit="abc123def456", dirty=False):
+    return {
+        "timestamp": 1000.0,
+        "quick": True,
+        "hostname": "box",
+        "git_commit": commit,
+        "git_dirty": dirty,
+        "calibration_mops": 10.0,
+        "geomean_ips": score * 10,
+        "geomean_ips_per_mop": score,
+    }
+
+
+class TestBenchHistory:
+    def test_append_and_load_roundtrip(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        append_history(_fake_report(100.0), path)
+        append_history(_fake_report(120.0), path)
+        entries = load_history(path)
+        assert [e["geomean_ips_per_mop"] for e in entries] == [100.0, 120.0]
+        assert entries[0]["schema"] == 1
+        assert entries[0]["git_commit"] == "abc123def456"
+
+    def test_load_missing_and_torn(self, tmp_path):
+        assert load_history(tmp_path / "nope.jsonl") == []
+        path = tmp_path / "hist.jsonl"
+        append_history(_fake_report(100.0), path)
+        with open(path, "a") as fh:
+            fh.write('{"torn')
+        assert len(load_history(path)) == 1
+
+    def test_history_entry_drops_cell_detail(self):
+        report = _fake_report(100.0)
+        report["cells"] = [{"big": "table"}]
+        assert "cells" not in history_entry(report)
+
+    def test_format_trend(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        append_history(_fake_report(100.0), path)
+        append_history(_fake_report(150.0, dirty=True), path)
+        text = format_trend(load_history(path))
+        assert "2 runs" in text
+        assert "abc123def4" in text
+        assert "abc123def4*" in text  # dirty marker
+        assert "1.50x" in text
+        assert "▁" in text and "█" in text
+
+    def test_format_trend_empty(self):
+        assert "no runs" in format_trend([])
