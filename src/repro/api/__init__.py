@@ -11,6 +11,8 @@ prefetchers, OCPs, cache designs, and workload suites (with
 execution.  The CLI is a thin shell over this module.
 """
 
+from ..engine.faults import (ExecutionError, ExecutionPolicy, FaultPlan,
+                             RequestFailure)
 from .params import coerce_value, normalize_params, parse_assignments
 from .registry import (
     ComponentRegistry,
@@ -44,13 +46,17 @@ from .spec import (
 
 __all__ = [
     "ComponentRegistry",
+    "ExecutionError",
+    "ExecutionPolicy",
     "ExperimentResult",
     "ExperimentSpec",
+    "FaultPlan",
     "FigureOutcome",
     "FigureSpec",
     "MixResult",
     "MixSpec",
     "ParamSpec",
+    "RequestFailure",
     "RunResult",
     "RunSpec",
     "SPEC_SCHEMA",

@@ -52,18 +52,29 @@ class RunResult(ResultExportMixin):
     full :class:`~repro.sim.simulator.SimulationResult` objects
     (baseline first) for epoch-level inspection; ``cached`` is True when
     every underlying request came from the memo/store.
+
+    A spec whose execution failed after retries still produces a
+    result: ``status="error"``, ``error`` holds the failure summary,
+    and the numeric fields are ``None`` — streaming consumers see every
+    spec settle exactly once.
     """
 
     spec: object
     workload: str
     design: str
     policy: str
-    ipc: float
-    baseline_ipc: float
-    speedup: float
+    ipc: Optional[float]
+    baseline_ipc: Optional[float]
+    speedup: Optional[float]
     keys: List[str] = field(default_factory=list)
     results: List[object] = field(default_factory=list)
     cached: bool = False
+    status: str = "ok"
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
 
     @property
     def result(self):
@@ -92,7 +103,10 @@ class RunResult(ResultExportMixin):
             "ipc": self.ipc,
             "baseline_ipc": self.baseline_ipc,
             "speedup": self.speedup,
+            "status": self.status,
         }
+        if self.error is not None:
+            row["error"] = self.error
         for key in ("trace_length", "epoch_length", "warmup_fraction"):
             value = getattr(self.spec, key, None)
             if value is not None:
@@ -102,17 +116,35 @@ class RunResult(ResultExportMixin):
 
 @dataclass
 class MixResult(ResultExportMixin):
-    """One resolved :class:`~repro.api.spec.MixSpec` (per-core rows)."""
+    """One resolved :class:`~repro.api.spec.MixSpec` (per-core rows).
+
+    A failed mix has ``status="error"``, ``result=None``, and exports a
+    single row carrying the error instead of per-core observations.
+    """
 
     spec: object
     name: str
     design: str
     policy: str
     key: str
-    result: object  # MultiCoreResult
+    result: object  # MultiCoreResult (None when status != "ok")
     cached: bool = False
+    status: str = "ok"
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
 
     def to_rows(self) -> List[Dict[str, object]]:
+        if self.result is None:
+            return [{
+                "mix": self.name,
+                "design": self.design,
+                "policy": self.policy,
+                "status": self.status,
+                "error": self.error,
+            }]
         return [
             {
                 "mix": self.name,
@@ -123,6 +155,7 @@ class MixResult(ResultExportMixin):
                 "ipc": core.ipc,
                 "instructions": core.instructions,
                 "cycles": core.cycles,
+                "status": self.status,
             }
             for index, core in enumerate(self.result.cores)
         ]
@@ -202,6 +235,13 @@ class ExperimentResult(ResultExportMixin):
             if hasattr(result, "format_table"):
                 blocks.append(result.format_table())
             elif isinstance(result, RunResult):
+                if not result.ok:
+                    blocks.append(
+                        f"run {result.workload} "
+                        f"[{result.design}/{result.policy}]: "
+                        f"FAILED — {result.error}"
+                    )
+                    continue
                 blocks.append(
                     f"run {result.workload} [{result.design}/{result.policy}]"
                     f": ipc={result.ipc:.4f} "
@@ -209,6 +249,13 @@ class ExperimentResult(ResultExportMixin):
                     f"speedup={result.speedup:.4f}"
                 )
             elif isinstance(result, MixResult):
+                if not result.ok:
+                    blocks.append(
+                        f"mix {result.name} "
+                        f"[{result.design}/{result.policy}]: "
+                        f"FAILED — {result.error}"
+                    )
+                    continue
                 lines = [f"mix {result.name} "
                          f"[{result.design}/{result.policy}]:"]
                 for row in result.to_rows():

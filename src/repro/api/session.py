@@ -29,6 +29,7 @@ import pathlib
 from typing import Iterable, Iterator, List, Optional, Union
 
 from ..engine.api import Engine
+from ..engine.faults import ExecutionPolicy, FaultPlan, RequestFailure
 from ..engine.pool import ProgressFn
 from ..engine.store import ResultStore
 from ..obs.spans import span
@@ -75,6 +76,15 @@ class Session:
         engine request; see :mod:`repro.obs.journal`).  Defaults to the
         ``REPRO_TELEMETRY`` environment variable; ``None`` with the
         variable unset means no journal and no span collection.
+    resilience:
+        An :class:`~repro.engine.faults.ExecutionPolicy` controlling
+        retries, per-request timeouts, and pool-rebuild budgets;
+        defaults to the environment (``REPRO_MAX_RETRIES``,
+        ``REPRO_TIMEOUT_S``).
+    faults:
+        A :class:`~repro.engine.faults.FaultPlan` injecting
+        deterministic failures (testing only); defaults to
+        ``REPRO_FAULTS``.
     """
 
     def __init__(
@@ -85,6 +95,8 @@ class Session:
         engine: Optional[Engine] = None,
         progress: Optional[ProgressFn] = None,
         telemetry: Union[str, pathlib.Path, None] = None,
+        resilience: Optional[ExecutionPolicy] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         if isinstance(scale, str):
             try:
@@ -96,11 +108,12 @@ class Session:
         self.scale = scale if scale is not None else active_scale()
         if engine is not None:
             if store is not None or jobs != 1 or progress is not None \
-                    or telemetry is not None:
+                    or telemetry is not None or resilience is not None \
+                    or faults is not None:
                 raise ValueError(
                     "Session(engine=...) already carries its own store/"
-                    "jobs/progress/telemetry; passing them too would "
-                    "silently ignore them"
+                    "jobs/progress/telemetry/resilience/faults; passing "
+                    "them too would silently ignore them"
                 )
             self.engine = engine
             self._owns_engine = False
@@ -108,7 +121,8 @@ class Session:
             if store is not None and not isinstance(store, ResultStore):
                 store = ResultStore(store)
             self.engine = Engine(store=store, jobs=jobs, progress=progress,
-                                 telemetry=telemetry)
+                                 telemetry=telemetry,
+                                 resilience=resilience, faults=faults)
             self._owns_engine = True
         self._ctx = ExperimentContext(scale=self.scale, engine=self.engine)
 
@@ -180,6 +194,23 @@ class Session:
             spec=spec, name=spec.name, design=spec.design,
             policy=spec.policy, key=request.key(), result=result,
             cached=cached,
+        )
+
+    def _build_failed_result(
+        self, spec, planned, failure: RequestFailure
+    ) -> Union[RunResult, MixResult]:
+        """An error-status result for a spec whose execution failed."""
+        if isinstance(spec, MixSpec):
+            return MixResult(
+                spec=spec, name=spec.name, design=spec.design,
+                policy=spec.policy, key=planned[0].key(), result=None,
+                status="error", error=failure.summary(),
+            )
+        return RunResult(
+            spec=spec, workload=spec.workload, design=spec.design,
+            policy=spec.policy, ipc=None, baseline_ipc=None,
+            speedup=None, keys=[r.key() for r in planned],
+            status="error", error=failure.summary(),
         )
 
     def _build_run_result(self, spec, requests, results, cached) -> RunResult:
@@ -267,6 +298,11 @@ class Session:
         that is whichever spec's last simulation finishes first, so
         consumers overlap analysis with simulation instead of waiting
         on the slowest member of the batch.
+
+        A spec whose execution fails after the engine's retries still
+        settles: it yields a result with ``status="error"`` (numeric
+        fields ``None``) instead of raising mid-stream, so every
+        submitted spec yields exactly once.
         """
         specs = list(specs)
         plans: List[list] = []
@@ -284,14 +320,21 @@ class Session:
         remaining = [len(planned) for planned in plans]
         gathered: List[dict] = [{} for _ in plans]
         all_cached = [True] * len(plans)
+        failed: List[Optional[RequestFailure]] = [None] * len(plans)
         for completed in self.engine.as_completed(flat):
             spec_index = owner[completed.index]
             gathered[spec_index][position[completed.index]] = completed.result
             all_cached[spec_index] &= completed.cached
+            if completed.failure is not None and failed[spec_index] is None:
+                failed[spec_index] = completed.failure
             remaining[spec_index] -= 1
             if remaining[spec_index] == 0:
                 spec = specs[spec_index]
                 planned = plans[spec_index]
+                if failed[spec_index] is not None:
+                    yield self._build_failed_result(
+                        spec, planned, failed[spec_index])
+                    continue
                 ordered = [
                     gathered[spec_index][pos] for pos in range(len(planned))
                 ]

@@ -47,6 +47,17 @@ equivalent spec file produce identical engine content-hash keys and
 share one result store (``--jobs N`` fans misses across N worker
 processes; ``--store PATH`` persists every result so a rerun executes
 nothing).
+
+Engine-backed commands (``figures``/``sweep``/``exp run``) also take
+resilience flags: ``--max-retries N`` and ``--timeout SECONDS``
+(env fallbacks ``REPRO_MAX_RETRIES``/``REPRO_TIMEOUT_S``) bound how
+hard the engine fights worker failures, ``--fail-fast`` abandons a
+batch on the first terminal failure, and ``--faults SPEC``
+(``REPRO_FAULTS``) injects deterministic faults for resilience
+testing.  A run whose simulations still fail after retries prints a
+failure summary and exits with code 3 (code 2 stays usage errors) —
+after persisting every successful sibling result, so the rerun
+resumes warm.  See ``docs/robustness.md``.
 """
 
 from __future__ import annotations
@@ -230,18 +241,61 @@ def _add_engine_args(parser) -> None:
     parser.add_argument("--telemetry", default=None, metavar="PATH",
                         help="append a JSONL run journal of engine events "
                              "for `repro obs` (default: $REPRO_TELEMETRY)")
+    parser.add_argument("--max-retries", type=int, default=None,
+                        metavar="N",
+                        help="retries per failed simulation before it is "
+                             "reported as a failure (default: "
+                             "$REPRO_MAX_RETRIES or 2)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-simulation wall-clock budget; a hung "
+                             "worker is killed and the request retried "
+                             "(default: $REPRO_TIMEOUT_S or no limit; "
+                             "needs --jobs > 1)")
+    parser.add_argument("--fail-fast", action="store_true",
+                        help="on the first terminal failure, cancel "
+                             "requests not yet running instead of "
+                             "finishing the batch")
+    parser.add_argument("--faults", default=None, metavar="SPEC",
+                        help="deterministic fault-injection plan for "
+                             "resilience testing, e.g. "
+                             "'crash=0.2,hang=0.2,corrupt=0.2,seed=7' "
+                             "(default: $REPRO_FAULTS)")
+
+
+#: exit code for runs where simulations failed after retries (2 is
+#: usage errors); every successful sibling result is persisted first.
+EXIT_EXECUTION_FAILURE = 3
 
 
 def _make_session(args):
     """A Session wired to the command's --jobs/--store flags."""
     from .api import Session
+    from .engine.faults import ExecutionPolicy, FaultPlan
     from .engine.store import default_store_path
 
     # Session coerces a path to a ResultStore; None means no store, so
     # the default path must be made explicit when --store is omitted.
     store = None if args.no_store else (args.store or default_store_path())
+    resilience = ExecutionPolicy.from_env(
+        max_retries=args.max_retries,
+        timeout_s=args.timeout,
+        fail_fast=args.fail_fast or None,
+    )
+    faults = (FaultPlan.parse(args.faults) if args.faults
+              else FaultPlan.from_env())
     return Session(store=store, jobs=args.jobs, progress=_progress,
-                   telemetry=args.telemetry)
+                   telemetry=args.telemetry, resilience=resilience,
+                   faults=faults)
+
+
+def _fail_execution(session, exc) -> int:
+    """Report an ExecutionError and return the failure exit code."""
+    from .engine.faults import format_failures
+
+    print(format_failures(exc.failures), file=sys.stderr)
+    print(session.counters.summary(), file=sys.stderr)
+    return EXIT_EXECUTION_FAILURE
 
 
 def _progress(done: int, total: int, key: str) -> None:
@@ -357,9 +411,14 @@ def _cmd_figures(args) -> int:
     except ValueError as exc:  # e.g. --store pointing at a non-store file
         return _fail(str(exc))
     try:
-        for outcome in session.figures(spec):
-            print(outcome.format_table())
-            print()
+        from .engine.faults import ExecutionError
+
+        try:
+            for outcome in session.figures(spec):
+                print(outcome.format_table())
+                print()
+        except ExecutionError as exc:
+            return _fail_execution(session, exc)
         print(session.counters.summary())
     finally:
         session.close()
@@ -385,10 +444,14 @@ def _cmd_sweep(args) -> int:
     except ValueError as exc:  # e.g. --store pointing at a non-store file
         return _fail(str(exc))
     try:
+        from .engine.faults import ExecutionError
+
         try:
             result = session.sweep(spec)
         except ValueError as exc:
             return _fail(str(exc))
+        except ExecutionError as exc:
+            return _fail_execution(session, exc)
         print(result.format_table())
         print()
         print(session.counters.summary())
@@ -422,10 +485,14 @@ def _cmd_exp(args) -> int:
     except ValueError as exc:
         return _fail(str(exc))
     try:
+        from .engine.faults import ExecutionError
+
         try:
             outcome = session.run_experiment(spec)
         except ValueError as exc:  # run-time-empty cases, e.g. pool:0
             return _fail(str(exc))
+        except ExecutionError as exc:
+            return _fail_execution(session, exc)
         print(f"experiment: {spec.name} "
               f"(content key {spec.content_key()[:12]})")
         print()

@@ -10,7 +10,15 @@ explicit, hashable *request*:
 * :mod:`repro.engine.store` — an on-disk SQLite result store mapping run
   keys to serialized results, safe for concurrent writer processes.
 * :mod:`repro.engine.pool` — a ``ProcessPoolExecutor`` scheduler that
-  deduplicates in-flight requests and streams completion progress.
+  deduplicates in-flight requests, streams completion progress, and
+  self-heals: worker failures are retried with backoff, hung attempts
+  are timed out, and a broken pool is rebuilt (degrading to inline
+  execution when it cannot be revived).
+* :mod:`repro.engine.faults` — the failure model
+  (:class:`~repro.engine.faults.RequestFailure`), the retry/timeout
+  policy (:class:`~repro.engine.faults.ExecutionPolicy`), and the
+  deterministic fault-injection harness
+  (:class:`~repro.engine.faults.FaultPlan`, ``REPRO_FAULTS``).
 * :mod:`repro.engine.api` — the :class:`~repro.engine.api.Engine` façade
   (memo → store → execute, with hit/miss counters) and the batch helpers
   ``run_many`` / ``sweep`` that :class:`repro.experiments.runner.\
@@ -22,21 +30,30 @@ processes, and a warm rerun replays everything from the store without
 executing a single simulation.
 """
 
-from .api import Engine, EngineCounters, run_many, sweep
+from .api import Completed, Engine, EngineCounters, run_many, sweep
+from .faults import (ExecutionError, ExecutionPolicy, FaultPlan,
+                     InjectedFault, RequestFailure, format_failures)
 from .jobs import ENGINE_SCHEMA, MixRequest, RunRequest
 from .pool import SimulationPool
 from .store import ResultStore, StoreDecodeError, default_store_path
 
 __all__ = [
     "ENGINE_SCHEMA",
+    "Completed",
     "Engine",
     "EngineCounters",
+    "ExecutionError",
+    "ExecutionPolicy",
+    "FaultPlan",
+    "InjectedFault",
     "MixRequest",
+    "RequestFailure",
     "ResultStore",
     "RunRequest",
     "SimulationPool",
     "StoreDecodeError",
     "default_store_path",
+    "format_failures",
     "run_many",
     "sweep",
 ]

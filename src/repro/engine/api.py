@@ -29,28 +29,40 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import FIRST_COMPLETED, wait
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..obs.journal import RunJournal, provenance
 from ..obs.metrics import MetricsRegistry
-from ..obs.spans import collector, set_enabled, spans_enabled
+from ..obs.spans import collector, set_enabled
 from ..sim.multicore import MultiCoreResult
+from .faults import (ExecutionError, ExecutionPolicy, FaultPlan,
+                     RequestFailure)
 from .jobs import Request, Result, decode_result
-from .pool import ProgressFn, SimulationPool, _execute_request
+from .pool import BatchExecution, ProgressFn, SimulationPool, iter_serial
 from .store import ResultStore, StoreDecodeError
 
 
 @dataclass(frozen=True)
 class Completed:
-    """One resolved request from :meth:`Engine.as_completed`."""
+    """One settled request from :meth:`Engine.as_completed`.
+
+    A request that exhausted its retries settles too: ``result`` is
+    ``None`` and ``failure`` carries the structured
+    :class:`~repro.engine.faults.RequestFailure` — the stream never
+    raises mid-iteration for an execution failure.
+    """
 
     index: int          #: position in the submitted request sequence
     key: str            #: the request's content-hash key
     request: Request
-    result: Result
+    result: Optional[Result]
     cached: bool        #: True when served from memo/store, not executed
+    failure: Optional[RequestFailure] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
 
 
 def _counter_view(field: str, help: str) -> property:
@@ -82,7 +94,8 @@ class EngineCounters:
     """
 
     _FIELDS = ("memo_hits", "store_hits", "executed",
-               "trace_hits", "trace_builds")
+               "trace_hits", "trace_builds",
+               "retries", "timeouts", "rebuilds", "failures")
 
     def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
         self.registry = registry if registry is not None \
@@ -100,6 +113,14 @@ class EngineCounters:
         "trace_hits", "compiled-trace cache hits across all workers")
     trace_builds = _counter_view(
         "trace_builds", "traces generated from specs across all workers")
+    retries = _counter_view(
+        "retries", "failed request attempts that were retried")
+    timeouts = _counter_view(
+        "timeouts", "request attempts cancelled on wall-clock timeout")
+    rebuilds = _counter_view(
+        "rebuilds", "worker-pool teardowns and rebuilds")
+    failures = _counter_view(
+        "failures", "requests whose retries were exhausted (terminal)")
 
     @property
     def total(self) -> int:
@@ -118,12 +139,20 @@ class EngineCounters:
         return out
 
     def summary(self) -> str:
-        return (
+        text = (
             f"engine: {self.executed} simulations executed, "
             f"{self.store_hits} store hits, {self.memo_hits} memo hits; "
             f"trace cache: {self.trace_hits} hits, "
             f"{self.trace_builds} builds"
         )
+        if self.retries or self.timeouts or self.rebuilds or self.failures:
+            text += (
+                f"; resilience: {self.retries} retries, "
+                f"{self.timeouts} timeouts, "
+                f"{self.rebuilds} pool rebuilds, "
+                f"{self.failures} failures"
+            )
+        return text
 
 
 class Engine:
@@ -136,10 +165,19 @@ class Engine:
         pool: Optional[SimulationPool] = None,
         progress: Optional[ProgressFn] = None,
         telemetry: Union[RunJournal, str, os.PathLike, None] = None,
+        resilience: Optional[ExecutionPolicy] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         self.store = store
         self.jobs = max(1, int(jobs)) if pool is None else (pool.jobs or 1)
         self._pool = pool
+        #: retry/timeout discipline; environment-derived by default
+        #: (REPRO_MAX_RETRIES / REPRO_TIMEOUT_S).
+        self.resilience = resilience if resilience is not None \
+            else ExecutionPolicy.from_env()
+        #: deterministic fault-injection plan (REPRO_FAULTS); None in
+        #: normal operation.
+        self.faults = faults if faults is not None else FaultPlan.from_env()
         self._memo: Dict[str, Result] = {}
         #: keys whose results were executed (not replayed) this
         #: engine lifetime; lets callers attribute executions to their
@@ -271,7 +309,81 @@ class Engine:
             )
         return result
 
+    def _consume_payload(self, key: str, payload: dict) -> Result:
+        """Record one successful execution payload, deduplicating.
+
+        An interleaved ``run()``/``run_many()`` may have already
+        recorded a shared in-flight key; recording twice would
+        double-count ``executed`` and rewrite the store.  The worker's
+        observability delta is still harvested either way, so those
+        counters reflect work that really happened.
+        """
+        result = self._memo.get(key)
+        if result is not None:
+            obs = payload.pop("_obs", None) or {}
+            self.counters.apply_trace_delta(obs.get("trace_cache"))
+            if obs.get("spans"):
+                collector().merge(obs["spans"])
+            return result
+        return self._record(key, payload)
+
+    def _note_failure(self, failure: RequestFailure,
+                      retrying: bool) -> None:
+        """Count and journal one failure observation."""
+        if retrying:
+            self.counters.retries += 1
+        else:
+            self.counters.failures += 1
+        if failure.kind == "timeout":
+            self.counters.timeouts += 1
+        if self._journal is not None:
+            self._journal.event(
+                "failure", key=failure.key, kind=failure.kind,
+                attempt=failure.attempts, retrying=retrying,
+                error=failure.error, exc_type=failure.exc_type,
+                worker=failure.worker,
+            )
+
+    def _note_rebuild(self, rebuilds: int, degraded: bool) -> None:
+        """Count and journal one worker-pool rebuild."""
+        self.counters.rebuilds += 1
+        if self._journal is not None:
+            self._journal.event("rebuild", rebuilds=rebuilds,
+                                degraded=degraded)
+
     # -- execution ---------------------------------------------------------
+
+    def _resolve_misses(
+        self,
+        pairs: Sequence[Tuple[str, Request]],
+        progress: Optional[ProgressFn],
+    ) -> List[RequestFailure]:
+        """Execute cache misses with retry/timeout/rebuild resilience.
+
+        Successes land in the memo (and store) as they complete — even
+        when other requests in the batch fail — so a rerun after a
+        failure resumes warm.  Returns the terminal failures.
+        """
+        failures: List[RequestFailure] = []
+        if self.parallel:
+            _, failures = self.pool.run_batch(
+                pairs, progress=progress, policy=self.resilience,
+                faults=self.faults, on_result=self._consume_payload,
+                on_failure=self._note_failure,
+                on_rebuild=self._note_rebuild)
+        else:
+            done = 0
+            for kind, key, value in iter_serial(
+                    pairs, policy=self.resilience, faults=self.faults,
+                    on_result=self._consume_payload,
+                    on_failure=self._note_failure):
+                if kind == "ok":
+                    done += 1
+                    if progress is not None:
+                        progress(done, len(pairs), key)
+                else:
+                    failures.append(value)
+        return failures
 
     def run(self, request: Request) -> Result:
         """Resolve one request (inline execution on a miss).
@@ -279,6 +391,9 @@ class Engine:
         If a pool worker is already computing this key (left in flight
         by an abandoned streaming iterator), wait on that future
         instead of simulating the same thing twice.
+
+        Raises :class:`~repro.engine.faults.ExecutionError` when the
+        request still fails after the resilience policy's retries.
         """
         self._harvest_inflight()
         key = request.key()
@@ -288,10 +403,22 @@ class Engine:
         if self._pool is not None:
             future = self._pool.peek(key)
             if future is not None:
-                payload = future.result()
                 self._pool.discard(key)
-                return self._record(key, payload)
-        return self._record(key, _execute_request(request, spans_enabled()))
+                try:
+                    payload = future.result()
+                    return self._consume_payload(key, payload)
+                except Exception:
+                    pass  # fall through to the inline retry path
+        failures = []
+        for kind, _, value in iter_serial(
+                [(key, request)], policy=self.resilience,
+                faults=self.faults, on_result=self._consume_payload,
+                on_failure=self._note_failure):
+            if kind == "fail":
+                failures.append(value)
+        if failures:
+            raise ExecutionError(failures)
+        return self._memo[key]
 
     def run_many(
         self,
@@ -302,6 +429,11 @@ class Engine:
 
         Duplicate requests are resolved once; the returned list matches
         the input order (including duplicates).
+
+        Raises :class:`~repro.engine.faults.ExecutionError` when any
+        request exhausts its retries — but only *after* every
+        successful sibling has been recorded to the memo/store, so the
+        failed campaign resumes warm.
         """
         if progress is None:
             progress = self.progress
@@ -312,17 +444,9 @@ class Engine:
             if key not in misses and self._lookup(key) is None:
                 misses[key] = request
         if misses:
-            pairs = list(misses.items())
-            if self.parallel:
-                payloads = self.pool.run_batch(pairs, progress=progress)
-                for key, payload in payloads.items():
-                    self._record(key, payload)
-            else:
-                for done, (key, request) in enumerate(pairs, start=1):
-                    self._record(
-                        key, _execute_request(request, spans_enabled()))
-                    if progress is not None:
-                        progress(done, len(pairs), key)
+            failures = self._resolve_misses(list(misses.items()), progress)
+            if failures:
+                raise ExecutionError(failures)
         return [self._memo[key] for key, _ in keyed]
 
     def as_completed(
@@ -330,7 +454,7 @@ class Engine:
         requests: Sequence[Request],
         progress: Optional[ProgressFn] = None,
     ) -> Iterator[Completed]:
-        """Stream results as they resolve instead of waiting on a batch.
+        """Stream results as they settle instead of waiting on a batch.
 
         Yields one :class:`Completed` per submitted request.  Cache hits
         (memo/store) are yielded first, in submission order; misses
@@ -339,6 +463,10 @@ class Engine:
         sharing one execution.  Every miss is recorded to the memo/store
         exactly as :meth:`run_many` would, so a consumer that abandons
         the iterator early keeps whatever already finished.
+
+        Execution failures do not raise mid-stream: a request whose
+        retries are exhausted yields a :class:`Completed` with
+        ``result=None`` and a populated ``failure``.
         """
         if progress is None:
             progress = self.progress
@@ -359,85 +487,64 @@ class Engine:
                 miss_indices[key] = [index]
         total = len(misses)
         if misses and self.parallel:
-            # Submit misses to the pool *before* yielding the hits:
-            # workers simulate while the consumer processes cached
-            # results, which is the whole point of streaming.  Every
-            # yield — including the hit yields — stays inside the try
-            # so abandoning the iterator at any point still runs the
-            # finished-work recording below.
-            futures = {
-                self.pool.submit(key, request): key
-                for key, request in misses.items()
-            }
-            recorded = set()
+            # Constructing the execution submits misses to the pool
+            # *before* the hits are yielded: workers simulate while the
+            # consumer processes cached results, which is the whole
+            # point of streaming.  Every yield — including the hit
+            # yields — stays inside the try so abandoning the iterator
+            # at any point still runs the finished-work recording in
+            # finalize().
+            execution = BatchExecution(
+                self.pool, list(misses.items()), policy=self.resilience,
+                faults=self.faults, on_result=self._consume_payload,
+                on_failure=self._note_failure,
+                on_rebuild=self._note_rebuild)
             try:
                 for index, key, request, cached in hits:
                     yield Completed(index, key, request, cached,
                                     cached=True)
                 done_count = 0
-                waiting = set(futures)
-                while waiting:
-                    done, waiting = wait(waiting,
-                                         return_when=FIRST_COMPLETED)
-                    for future in done:
-                        key = futures[future]
-                        # An interleaved run()/run_many() may have
-                        # already recorded this shared in-flight key;
-                        # recording twice would double-count executed
-                        # and rewrite the store.  Still harvest the
-                        # worker's trace-cache delta so those counters
-                        # reflect work that really happened.
-                        result = self._memo.get(key)
-                        if result is None:
-                            result = self._record(key, future.result())
-                        else:
-                            obs = future.result().pop("_obs", None) or {}
-                            self.counters.apply_trace_delta(
-                                obs.get("trace_cache"))
-                            if obs.get("spans"):
-                                collector().merge(obs["spans"])
-                        recorded.add(key)
-                        self.pool.discard(key)
-                        done_count += 1
-                        if progress is not None:
-                            progress(done_count, total, key)
-                        for index in miss_indices[key]:
+                for kind, key, value in execution.events():
+                    done_count += 1
+                    if progress is not None:
+                        progress(done_count, total, key)
+                    for index in miss_indices[key]:
+                        if kind == "ok":
                             yield Completed(index, key, keyed[index][1],
-                                            result, cached=False)
+                                            value, cached=False)
+                        else:
+                            yield Completed(index, key, keyed[index][1],
+                                            None, cached=False,
+                                            failure=value)
             finally:
                 # A consumer abandoning the iterator must not discard
-                # work that already finished in the pool: record every
-                # completed-but-unyielded future (and clear it from the
-                # in-flight map, where a done future would otherwise be
-                # re-executed by the next submit of the same key).
-                for future, key in futures.items():
-                    if key in recorded or key in self._memo \
-                            or not future.done():
-                        continue
-                    self.pool.discard(key)
-                    try:
-                        payload = future.result()
-                    except Exception:
-                        continue
-                    try:
-                        self._record(key, payload)
-                    except Exception:
-                        # This block can run during generator GC, after
-                        # Engine.close() shut the store; dropping a
-                        # cache write is safe (the store is never a
-                        # source of truth), raising here is not.
-                        continue
+                # work that already finished in the pool: finalize()
+                # records every completed-but-unyielded future (and
+                # clears it from the in-flight map, where a done future
+                # would otherwise be re-executed by the next submit of
+                # the same key), swallowing exceptions — this can run
+                # during generator GC, after Engine.close() shut the
+                # store, where dropping a cache write is safe and
+                # raising is not.
+                execution.finalize()
         else:
             for index, key, request, cached in hits:
                 yield Completed(index, key, request, cached, cached=True)
-            for done_count, (key, request) in enumerate(misses.items(), 1):
-                result = self._record(
-                    key, _execute_request(request, spans_enabled()))
+            done_count = 0
+            for kind, key, value in iter_serial(
+                    list(misses.items()), policy=self.resilience,
+                    faults=self.faults, on_result=self._consume_payload,
+                    on_failure=self._note_failure):
+                done_count += 1
                 if progress is not None:
                     progress(done_count, total, key)
                 for index in miss_indices[key]:
-                    yield Completed(index, key, keyed[index][1],
-                                    result, cached=False)
+                    if kind == "ok":
+                        yield Completed(index, key, keyed[index][1],
+                                        value, cached=False)
+                    else:
+                        yield Completed(index, key, keyed[index][1],
+                                        None, cached=False, failure=value)
 
     def sweep(
         self,

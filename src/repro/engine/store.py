@@ -89,11 +89,16 @@ class ResultStore:
 
         A row whose payload is not valid JSON is deleted and reported as
         a miss — partial writes from a killed process must never crash a
-        later reader.
+        later reader.  Database-level corruption discovered at read time
+        (pages torn after the header was validated) is likewise a miss:
+        the store is a cache, never a source of truth.
         """
-        row = self._conn.execute(
-            "SELECT payload FROM results WHERE key = ?", (key,)
-        ).fetchone()
+        try:
+            row = self._conn.execute(
+                "SELECT payload FROM results WHERE key = ?", (key,)
+            ).fetchone()
+        except sqlite3.DatabaseError:
+            return None
         if row is None:
             return None
         try:

@@ -18,6 +18,14 @@ Event vocabulary (see :data:`EVENT_FIELDS` for the exact schema):
 ``span``
     A standalone parent-side phase (e.g. ``plan``) not tied to one
     request.
+``failure``
+    One failed request attempt: content key, failure ``kind``
+    (``exception``/``timeout``/``crash``/``corrupt``/``cancelled``),
+    attempt number, and whether the engine is retrying it
+    (``retrying=false`` marks a terminal failure).
+``rebuild``
+    The worker pool died and was rebuilt: cumulative rebuild count and
+    whether the pool has degraded to inline execution.
 ``summary``
     Engine shutdown: the machine-readable counters
     (:meth:`~repro.engine.api.EngineCounters.to_dict`) and the full
@@ -39,6 +47,7 @@ import time
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 __all__ = [
+    "FAILURE_KINDS",
     "JOURNAL_SCHEMA",
     "RunJournal",
     "aggregate_spans",
@@ -61,8 +70,14 @@ EVENT_FIELDS = {
     "start": {"schema": (int,), "pid": (int,)},
     "request": {"key": (str,), "outcome": (str,), "spans": (list,)},
     "span": {"name": (str,), "wall_s": (int, float)},
+    "failure": {"key": (str,), "kind": (str,), "attempt": (int,),
+                "retrying": (bool,)},
+    "rebuild": {"rebuilds": (int,)},
     "summary": {"counters": (dict,)},
 }
+
+#: failure kinds a ``failure`` event may carry.
+FAILURE_KINDS = ("exception", "timeout", "crash", "corrupt", "cancelled")
 
 _SPAN_FIELDS = {"name": (str,), "wall_s": (int, float),
                 "cpu_s": (int, float)}
@@ -175,6 +190,12 @@ def validate_event(event: dict) -> List[str]:
     for field, types in EVENT_FIELDS[etype].items():
         if not isinstance(event.get(field), types):
             errors.append(f"{etype} event: missing/invalid {field!r}")
+    if etype == "failure":
+        if event.get("kind") not in FAILURE_KINDS:
+            errors.append(
+                f"failure event: kind {event.get('kind')!r} "
+                f"not in {FAILURE_KINDS}"
+            )
     if etype == "request":
         if event.get("outcome") not in OUTCOMES:
             errors.append(
@@ -228,6 +249,8 @@ def summarize_journal(path: PathLike) -> dict:
     requests = {outcome: 0 for outcome in OUTCOMES}
     workers: Dict[str, int] = {}
     phases: Dict[str, dict] = {}
+    failures = {"retried": 0, "terminal": 0}
+    rebuilds = 0
     for event in events:
         if event.get("type") == "request":
             outcome = event.get("outcome")
@@ -236,6 +259,13 @@ def summarize_journal(path: PathLike) -> dict:
             worker = event.get("worker")
             if worker and outcome == "executed":
                 workers[worker] = workers.get(worker, 0) + 1
+        elif event.get("type") == "failure":
+            if event.get("retrying"):
+                failures["retried"] += 1
+            else:
+                failures["terminal"] += 1
+        elif event.get("type") == "rebuild":
+            rebuilds = max(rebuilds, event.get("rebuilds") or 0)
     for span in _iter_spans(events):
         name = span.get("name", "?")
         phase = phases.setdefault(
@@ -258,6 +288,8 @@ def summarize_journal(path: PathLike) -> dict:
                          total=sum(requests.values())),
         "phases": phases,
         "workers": workers,
+        "failures": failures,
+        "rebuilds": rebuilds,
         "counters": counters,
     }
 
@@ -293,6 +325,14 @@ def format_summary(summary: dict) -> str:
         f"{requests['store']} store hits, {requests['memo']} memo hits "
         f"({requests['total']} total)",
     ]
+    failures = summary.get("failures") or {}
+    if failures.get("retried") or failures.get("terminal") \
+            or summary.get("rebuilds"):
+        lines.append(
+            f"failures: {failures.get('retried', 0)} retried, "
+            f"{failures.get('terminal', 0)} terminal; "
+            f"pool rebuilds: {summary.get('rebuilds', 0)}"
+        )
     if summary["phases"]:
         lines.append("")
         lines.append(f"{'phase':16s} {'count':>7s} {'wall s':>10s} "
