@@ -31,6 +31,7 @@ from typing import Iterable, Iterator, List, Optional, Union
 from ..engine.api import Engine
 from ..engine.faults import ExecutionPolicy, FaultPlan, RequestFailure
 from ..engine.pool import ProgressFn
+from ..engine.queue import JobQueue
 from ..engine.store import ResultStore
 from ..obs.spans import span
 from ..experiments.runner import ExperimentContext, geomean
@@ -85,6 +86,14 @@ class Session:
         A :class:`~repro.engine.faults.FaultPlan` injecting
         deterministic failures (testing only); defaults to
         ``REPRO_FAULTS``.
+    queue:
+        A :class:`~repro.engine.queue.JobQueue` (or a path to one)
+        routing execution misses through the durable queue: specs are
+        dispatched as jobs, drained by an embedded worker plus any
+        external ``repro worker`` processes, and the campaign survives
+        a kill -9 of any participant (rerun to resume).
+    lease_ttl_s:
+        Queue lease lifetime for the embedded worker (seconds).
     """
 
     def __init__(
@@ -97,6 +106,8 @@ class Session:
         telemetry: Union[str, pathlib.Path, None] = None,
         resilience: Optional[ExecutionPolicy] = None,
         faults: Optional[FaultPlan] = None,
+        queue: Union[JobQueue, str, pathlib.Path, None] = None,
+        lease_ttl_s: float = 30.0,
     ) -> None:
         if isinstance(scale, str):
             try:
@@ -109,11 +120,11 @@ class Session:
         if engine is not None:
             if store is not None or jobs != 1 or progress is not None \
                     or telemetry is not None or resilience is not None \
-                    or faults is not None:
+                    or faults is not None or queue is not None:
                 raise ValueError(
                     "Session(engine=...) already carries its own store/"
-                    "jobs/progress/telemetry/resilience/faults; passing "
-                    "them too would silently ignore them"
+                    "jobs/progress/telemetry/resilience/faults/queue; "
+                    "passing them too would silently ignore them"
                 )
             self.engine = engine
             self._owns_engine = False
@@ -122,7 +133,8 @@ class Session:
                 store = ResultStore(store)
             self.engine = Engine(store=store, jobs=jobs, progress=progress,
                                  telemetry=telemetry,
-                                 resilience=resilience, faults=faults)
+                                 resilience=resilience, faults=faults,
+                                 queue=queue, lease_ttl_s=lease_ttl_s)
             self._owns_engine = True
         self._ctx = ExperimentContext(scale=self.scale, engine=self.engine)
 
@@ -350,20 +362,19 @@ class Session:
 
     # -- whole experiments -------------------------------------------------
 
-    def run_experiment(self, spec: ExperimentSpec) -> ExperimentResult:
-        """Execute a whole experiment spec.
+    def _plan_experiment(self, spec: ExperimentSpec):
+        """Plan every section of an experiment exactly once.
 
-        All run/mix/sweep requests are planned up front and submitted as
-        one batch, so a parallel engine fans the *entire* experiment out
-        at once; figures prefetch their own batches as they run.
+        Returns ``(ctx, planned_sections, requests)``: the context the
+        spec evaluates under, per-section plans, and the flat request
+        batch.  One planning pass feeds the whole-experiment batch (or
+        queue dispatch), the per-section cached attribution, and the
+        evaluation — the keys cannot drift between them.
         """
         ctx = self._ctx
         if spec.scale is not None and SCALES[spec.scale] is not self.scale:
             ctx = ExperimentContext(scale=SCALES[spec.scale],
                                     engine=self.engine)
-        # Plan each section exactly once: the plans feed the
-        # whole-experiment batch, the per-section cached attribution,
-        # and the evaluation below.
         planned_sections = []
         requests = []
         with span("plan", kind="experiment", experiment=spec.name) as sp:
@@ -375,6 +386,49 @@ class Session:
                 planned_sections.append((kind, section, planned))
         if sp is not None:
             self.engine.journal_event("span", **sp)
+        return ctx, planned_sections, requests
+
+    def plan_experiment(self, spec: ExperimentSpec) -> list:
+        """The flat engine-request batch an experiment spec lowers to.
+
+        The same planner :meth:`run_experiment` uses, so the returned
+        requests carry exactly the content-hash keys a run would — this
+        is what ``repro queue dispatch`` enqueues without executing.
+        """
+        _, _, requests = self._plan_experiment(spec)
+        return requests
+
+    def run_experiment(self, spec: ExperimentSpec,
+                       queue: Union[JobQueue, str, pathlib.Path,
+                                    None] = None) -> ExperimentResult:
+        """Execute a whole experiment spec.
+
+        All run/mix/sweep requests are planned up front and submitted as
+        one batch, so a parallel engine fans the *entire* experiment out
+        at once; figures prefetch their own batches as they run.
+
+        ``queue`` routes this experiment's execution through a durable
+        :class:`~repro.engine.queue.JobQueue` (overriding, for this
+        call, whatever queue the session was built with): jobs are
+        dispatched idempotently, drained by an embedded worker plus any
+        external ``repro worker`` processes, and a killed run resumes
+        from the queue+store on the next invocation.
+        """
+        if queue is None:
+            return self._run_experiment(spec)
+        owns = not isinstance(queue, JobQueue)
+        attached = queue if isinstance(queue, JobQueue) else JobQueue(queue)
+        saved = self.engine.queue
+        self.engine.queue = attached
+        try:
+            return self._run_experiment(spec)
+        finally:
+            self.engine.queue = saved
+            if owns:
+                attached.close()
+
+    def _run_experiment(self, spec: ExperimentSpec) -> ExperimentResult:
+        ctx, planned_sections, requests = self._plan_experiment(spec)
         executed_before = set(self.engine.executed_keys)
         if requests:
             self.engine.run_many(requests)

@@ -19,7 +19,20 @@ Commands
     speedup matrix.
 ``exp``
     Execute (``exp run``) or validate (``exp validate``) a declarative
-    experiment spec file (TOML or JSON) through the SDK.
+    experiment spec file (TOML or JSON) through the SDK; ``exp run
+    --queue PATH`` routes execution through a durable job queue and
+    ``exp resume`` restarts a killed queue-backed campaign without
+    recomputing finished jobs.
+``worker``
+    Lease and execute jobs from a durable queue (``--queue PATH``)
+    until it drains.  Any number of worker processes can share one
+    queue; a worker that dies mid-job loses its lease after
+    ``--lease-ttl`` seconds and a surviving worker reclaims the job.
+``queue``
+    Durable-queue tooling: ``queue status`` prints per-state job
+    counts, active leases with ages, and the attempt histogram;
+    ``queue dispatch`` lowers a spec file into queued jobs without
+    executing them.
 ``trace``
     Ingest external trace files: ``trace import`` parses a file through
     a registered adapter into the content-addressed trace cache and
@@ -31,7 +44,9 @@ Commands
 ``obs``
     Aggregate a telemetry run journal (written by any engine-backed
     command run with ``--telemetry PATH``): ``obs summary`` breaks a
-    run down by phase and worker, ``obs spans`` totals span names,
+    run down by phase and worker (several journals — one per worker
+    process — merge into one campaign report), ``obs spans`` totals
+    span names,
     ``obs validate`` schema-checks every event, ``obs export`` emits
     the final metrics snapshot as Prometheus text or JSON.
 ``bench``
@@ -126,10 +141,49 @@ def _build_parser():
     exp_run.add_argument("spec_path", metavar="SPEC",
                          help="path to a .toml or .json experiment spec")
     _add_engine_args(exp_run)
+    exp_resume = exp_sub.add_parser(
+        "resume",
+        help="resume a queue-backed experiment after a crash: reset "
+             "failed jobs, re-dispatch (done keys are no-ops), drain",
+    )
+    exp_resume.add_argument("spec_path", metavar="SPEC",
+                            help="the same spec file the campaign ran")
+    _add_engine_args(exp_resume)
     exp_validate = exp_sub.add_parser(
         "validate", help="validate a spec file and print its plan"
     )
     exp_validate.add_argument("spec_path", metavar="SPEC")
+
+    worker = sub.add_parser(
+        "worker",
+        help="lease and execute jobs from a durable queue until it "
+             "drains (spawn any number against one --queue)",
+    )
+    _add_engine_args(worker)
+    worker.add_argument("--max-idle", type=float, default=None,
+                        metavar="SECONDS", dest="max_idle",
+                        help="exit after this long without obtaining a "
+                             "lease (default: wait for the queue to drain)")
+
+    queue_cmd = sub.add_parser(
+        "queue", help="inspect or populate durable job queues"
+    )
+    queue_sub = queue_cmd.add_subparsers(dest="queue_command",
+                                         required=True)
+    queue_status = queue_sub.add_parser(
+        "status",
+        help="per-state job counts, active leases, attempt histogram",
+    )
+    queue_status.add_argument("queue_path", metavar="QUEUE",
+                              help="queue database path")
+    queue_dispatch = queue_sub.add_parser(
+        "dispatch",
+        help="lower an experiment spec into queued jobs without "
+             "executing (workers drain them)",
+    )
+    queue_dispatch.add_argument("spec_path", metavar="SPEC",
+                                help="a .toml or .json experiment spec")
+    _add_engine_args(queue_dispatch)
 
     trace = sub.add_parser(
         "trace", help="import/inspect external trace files"
@@ -183,7 +237,12 @@ def _build_parser():
     obs_export.add_argument(
         "--format", choices=("prometheus", "json"), default="prometheus",
         help="output format (default: prometheus text exposition)")
-    for obs_parser in (obs_summary, obs_spans, obs_validate, obs_export):
+    # summary aggregates across files (one journal per worker process);
+    # the other subcommands operate on exactly one journal.
+    obs_summary.add_argument("journal", metavar="JOURNAL", nargs="+",
+                             help="run journal JSONL path(s); several "
+                                  "merge into one campaign report")
+    for obs_parser in (obs_spans, obs_validate, obs_export):
         obs_parser.add_argument("journal", metavar="JOURNAL",
                                 help="run journal JSONL path")
 
@@ -261,6 +320,17 @@ def _add_engine_args(parser) -> None:
                              "resilience testing, e.g. "
                              "'crash=0.2,hang=0.2,corrupt=0.2,seed=7' "
                              "(default: $REPRO_FAULTS)")
+    parser.add_argument("--queue", default=None, metavar="PATH",
+                        help="durable job-queue database: execution "
+                             "misses become leased jobs, shared with any "
+                             "`repro worker --queue PATH` processes, and "
+                             "a killed run resumes from the queue+store")
+    parser.add_argument("--lease-ttl", type=float, default=30.0,
+                        metavar="SECONDS", dest="lease_ttl",
+                        help="queue lease lifetime; a worker that stops "
+                             "heartbeating for this long is presumed "
+                             "dead and its jobs are reclaimed "
+                             "(default 30)")
 
 
 #: exit code for runs where simulations failed after retries (2 is
@@ -286,7 +356,8 @@ def _make_session(args):
               else FaultPlan.from_env())
     return Session(store=store, jobs=args.jobs, progress=_progress,
                    telemetry=args.telemetry, resilience=resilience,
-                   faults=faults)
+                   faults=faults, queue=getattr(args, "queue", None),
+                   lease_ttl_s=getattr(args, "lease_ttl", 30.0))
 
 
 def _fail_execution(session, exc) -> int:
@@ -480,6 +551,9 @@ def _cmd_exp(args) -> int:
         print("spec OK")
         return 0
 
+    if args.exp_command == "resume" and not args.queue:
+        return _fail("exp resume needs --queue PATH (the queue the "
+                     "campaign was dispatched to)")
     try:
         session = _make_session(args)
     except ValueError as exc:
@@ -487,6 +561,12 @@ def _cmd_exp(args) -> int:
     try:
         from .engine.faults import ExecutionError
 
+        if args.exp_command == "resume":
+            # A failed job exhausted its budget in the *previous* life
+            # of this campaign; resuming grants it a fresh one.
+            reset = session.engine.queue.reset_failed()
+            if reset:
+                print(f"reset {len(reset)} failed job(s) to pending")
         try:
             outcome = session.run_experiment(spec)
         except ValueError as exc:  # run-time-empty cases, e.g. pool:0
@@ -499,6 +579,140 @@ def _cmd_exp(args) -> int:
         print(outcome.format_text())
         print()
         print(session.counters.summary())
+    finally:
+        session.close()
+    return 0
+
+
+def _cmd_worker(args) -> int:
+    """Standalone queue worker: drain jobs until the queue settles.
+
+    Built on a plain Engine (store + telemetry + resilience, *without*
+    a queue route — this process drains the queue, it does not dispatch
+    to it), so executed jobs hit the memo/store/journal through exactly
+    the same `_consume_payload` path as in-process execution.
+    """
+    if not args.queue:
+        return _fail("worker needs --queue PATH")
+    from .engine.api import Engine
+    from .engine.faults import ExecutionPolicy, FaultPlan
+    from .engine.queue import JobQueue
+    from .engine.service import QueueWorker
+    from .engine.store import ResultStore, default_store_path
+
+    resilience = ExecutionPolicy.from_env(
+        max_retries=args.max_retries, timeout_s=args.timeout)
+    faults = (FaultPlan.parse(args.faults) if args.faults
+              else FaultPlan.from_env())
+    try:
+        store = None if args.no_store else ResultStore(
+            args.store or default_store_path())
+        queue = JobQueue(args.queue)
+    except ValueError as exc:
+        return _fail(str(exc))
+    engine = Engine(store=store, jobs=args.jobs, telemetry=args.telemetry,
+                    resilience=resilience, faults=faults)
+    try:
+        worker = QueueWorker(
+            queue, store=engine.store, jobs=args.jobs,
+            pool=engine.pool if engine.parallel else None,
+            policy=engine.resilience, faults=engine.faults,
+            lease_ttl_s=args.lease_ttl,
+            on_result=engine._consume_payload,
+            on_failure=engine._note_failure,
+            on_rebuild=engine._note_rebuild,
+            emit=engine.journal_event, metrics=engine.metrics)
+        report = worker.run(max_idle_s=args.max_idle)
+        print(report.summary())
+        print(engine.counters.summary())
+        failed = queue.counts()["failed"]
+        if failed:
+            print(f"{failed} job(s) in state failed "
+                  f"(see `repro queue status {args.queue}`)",
+                  file=sys.stderr)
+            return EXIT_EXECUTION_FAILURE
+        return 0
+    finally:
+        engine.close()
+        queue.close()
+
+
+def _cmd_queue(args) -> int:
+    from .engine.queue import JOB_STATES, JobQueue
+
+    if args.queue_command == "status":
+        import pathlib
+        import time as _time
+
+        if not pathlib.Path(args.queue_path).exists():
+            return _fail(f"queue {args.queue_path} not found")
+        try:
+            queue = JobQueue(args.queue_path)
+        except ValueError as exc:
+            return _fail(str(exc))
+        with queue:
+            counts = queue.counts()
+            print(f"queue: {queue.path} ({len(queue)} jobs)")
+            print("  " + "  ".join(f"{state}={counts[state]}"
+                                   for state in JOB_STATES))
+            leases = queue.leases()
+            if leases:
+                print("active leases:")
+                now = _time.time()
+                for job in leases:
+                    remaining = ((job.lease_expires or now) - now)
+                    print(f"  {job.key[:12]}  owner={job.owner}  "
+                          f"age={job.lease_age_s:.1f}s  "
+                          f"expires_in={remaining:.1f}s  "
+                          f"attempt={job.attempts}")
+            histogram = queue.attempt_histogram()
+            if histogram:
+                print("attempts histogram:")
+                for attempts in sorted(histogram):
+                    print(f"  {attempts} attempt(s): "
+                          f"{histogram[attempts]} job(s)")
+            failed = queue.jobs("failed")
+            if failed:
+                print("failed jobs:")
+                for job in failed:
+                    error = (job.error or {})
+                    print(f"  {job.key[:12]}  {error.get('kind', '?')}: "
+                          f"{(error.get('error') or '?')[:80]}")
+        return 0
+
+    # dispatch: lower a spec into queued jobs without executing
+    from .api import ExperimentSpec, SpecError
+
+    if not args.queue:
+        return _fail("queue dispatch needs --queue PATH")
+    try:
+        spec = ExperimentSpec.load(args.spec_path)
+    except (SpecError, ValueError) as exc:
+        return _fail(str(exc))
+    # A plain session (no queue route): planning must not execute.
+    queue_path, args.queue = args.queue, None
+    try:
+        session = _make_session(args)
+    except ValueError as exc:
+        return _fail(str(exc))
+    try:
+        requests = session.plan_experiment(spec)
+        with JobQueue(queue_path) as queue:
+            report = queue.dispatch(
+                [(request.key(), request) for request in requests],
+                store=session.engine.store,
+                max_retries=session.engine.resilience.max_retries)
+            session.engine.journal_event(
+                "dispatch", queue=str(queue.path),
+                enqueued=len(report.enqueued),
+                done_from_store=len(report.done_from_store),
+                already_done=len(report.already_done),
+                already_queued=len(report.already_queued),
+                resumed_failed=len(report.resumed_failed))
+            print(f"experiment: {spec.name} "
+                  f"(content key {spec.content_key()[:12]})")
+            print(report.summary())
+            print(f"drain with: repro worker --queue {queue_path}")
     finally:
         session.close()
     return 0
@@ -579,6 +793,18 @@ def _cmd_obs(args) -> int:
 
     from .obs import journal as obs_journal
 
+    if args.obs_command == "summary":
+        paths = [pathlib.Path(p) for p in args.journal]
+        for path in paths:
+            if not path.exists():
+                return _fail(f"journal {path} not found")
+        try:
+            summary = obs_journal.summarize_journals(paths)
+        except (OSError, ValueError) as exc:
+            return _fail(str(exc))
+        print(obs_journal.format_summary(summary))
+        return 0
+
     path = pathlib.Path(args.journal)
     if not path.exists():
         return _fail(f"journal {path} not found")
@@ -595,10 +821,6 @@ def _cmd_obs(args) -> int:
         return 0
 
     try:
-        if args.obs_command == "summary":
-            summary = obs_journal.summarize_journal(path)
-            print(obs_journal.format_summary(summary))
-            return 0
         if args.obs_command == "spans":
             print(obs_journal.format_spans(obs_journal.aggregate_spans(path)))
             return 0
@@ -697,6 +919,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "exp":
         return _cmd_exp(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
+    if args.command == "queue":
+        return _cmd_queue(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "classify":

@@ -7,6 +7,9 @@ explicit, hashable *request*:
   single-core simulation) and :class:`~repro.engine.jobs.MixRequest` (one
   multi-core mix), each canonicalized into a stable content-hash key,
   plus the JSON codecs for their results.
+* :mod:`repro.engine.backend` — the shared SQLite seam (WAL, busy
+  timeout, bounded retry on ``SQLITE_BUSY``, foreign-file guard) that
+  both durable subsystems sit on.
 * :mod:`repro.engine.store` — an on-disk SQLite result store mapping run
   keys to serialized results, safe for concurrent writer processes.
 * :mod:`repro.engine.pool` — a ``ProcessPoolExecutor`` scheduler that
@@ -19,6 +22,13 @@ explicit, hashable *request*:
   policy (:class:`~repro.engine.faults.ExecutionPolicy`), and the
   deterministic fault-injection harness
   (:class:`~repro.engine.faults.FaultPlan`, ``REPRO_FAULTS``).
+* :mod:`repro.engine.queue` — a durable SQLite job queue
+  (``pending/leased/done/failed``, content-hash job identity) that
+  makes campaigns crash-resumable across OS processes.
+* :mod:`repro.engine.service` — the lease/heartbeat/reclaim worker
+  (:class:`~repro.engine.service.QueueWorker`) that drains a queue,
+  embedded in ``repro exp run --queue`` or standalone via
+  ``repro worker``.
 * :mod:`repro.engine.api` — the :class:`~repro.engine.api.Engine` façade
   (memo → store → execute, with hit/miss counters) and the batch helpers
   ``run_many`` / ``sweep`` that :class:`repro.experiments.runner.\
@@ -31,29 +41,42 @@ executing a single simulation.
 """
 
 from .api import Completed, Engine, EngineCounters, run_many, sweep
+from .backend import SQLiteBackend
 from .faults import (ExecutionError, ExecutionPolicy, FaultPlan,
                      InjectedFault, RequestFailure, format_failures)
 from .jobs import ENGINE_SCHEMA, MixRequest, RunRequest
 from .pool import SimulationPool
+from .queue import (JOB_STATES, DispatchReport, JobQueue, JobRecord,
+                    Lease)
+from .service import QueueWorker, WorkerReport, owner_id
 from .store import ResultStore, StoreDecodeError, default_store_path
 
 __all__ = [
     "ENGINE_SCHEMA",
+    "JOB_STATES",
     "Completed",
+    "DispatchReport",
     "Engine",
     "EngineCounters",
     "ExecutionError",
     "ExecutionPolicy",
     "FaultPlan",
     "InjectedFault",
+    "JobQueue",
+    "JobRecord",
+    "Lease",
     "MixRequest",
+    "QueueWorker",
     "RequestFailure",
     "ResultStore",
     "RunRequest",
+    "SQLiteBackend",
     "SimulationPool",
     "StoreDecodeError",
+    "WorkerReport",
     "default_store_path",
     "format_failures",
+    "owner_id",
     "run_many",
     "sweep",
 ]

@@ -40,6 +40,7 @@ from .faults import (ExecutionError, ExecutionPolicy, FaultPlan,
                      RequestFailure)
 from .jobs import Request, Result, decode_result
 from .pool import BatchExecution, ProgressFn, SimulationPool, iter_serial
+from .queue import JobQueue
 from .store import ResultStore, StoreDecodeError
 
 
@@ -167,8 +168,21 @@ class Engine:
         telemetry: Union[RunJournal, str, os.PathLike, None] = None,
         resilience: Optional[ExecutionPolicy] = None,
         faults: Optional[FaultPlan] = None,
+        queue: Union[JobQueue, str, os.PathLike, None] = None,
+        lease_ttl_s: float = 30.0,
     ) -> None:
         self.store = store
+        # -- durable queue route: misses are dispatched to a JobQueue and
+        #    drained by an embedded QueueWorker (plus any number of
+        #    external `repro worker` processes) instead of being executed
+        #    directly.  The queue outlives this process, which is what
+        #    makes a killed campaign resumable.
+        self._owns_queue = queue is not None and not isinstance(queue,
+                                                                JobQueue)
+        self.queue: Optional[JobQueue] = (
+            queue if isinstance(queue, JobQueue) or queue is None
+            else JobQueue(queue))
+        self.lease_ttl_s = float(lease_ttl_s)
         self.jobs = max(1, int(jobs)) if pool is None else (pool.jobs or 1)
         self._pool = pool
         #: retry/timeout discipline; environment-derived by default
@@ -364,6 +378,8 @@ class Engine:
         when other requests in the batch fail — so a rerun after a
         failure resumes warm.  Returns the terminal failures.
         """
+        if self.queue is not None:
+            return self._resolve_via_queue(pairs, progress)
         failures: List[RequestFailure] = []
         if self.parallel:
             _, failures = self.pool.run_batch(
@@ -385,6 +401,61 @@ class Engine:
                     failures.append(value)
         return failures
 
+    def _resolve_via_queue(
+        self,
+        pairs: Sequence[Tuple[str, Request]],
+        progress: Optional[ProgressFn],
+    ) -> List[RequestFailure]:
+        """Dispatch misses to the durable queue and drain it.
+
+        The dispatch is idempotent (done keys are no-ops), so rerunning
+        a killed campaign re-dispatches the same spec and picks up
+        exactly where the queue left off.  An embedded
+        :class:`~repro.engine.service.QueueWorker` drains jobs in this
+        process — cooperating with, and reclaiming the expired leases
+        of, any external ``repro worker`` processes on the same queue —
+        until every dispatched key is settled.  Results other workers
+        produced arrive through the store; only keys whose jobs ended
+        ``failed`` come back as failures.
+        """
+        from .service import QueueWorker, owner_id
+
+        report = self.queue.dispatch(
+            pairs, store=self.store,
+            max_retries=self.resilience.max_retries)
+        self.metrics.counter("queue_dispatched").inc(len(report.enqueued))
+        self.journal_event(
+            "dispatch", queue=str(self.queue.path),
+            enqueued=len(report.enqueued),
+            done_from_store=len(report.done_from_store),
+            already_done=len(report.already_done),
+            already_queued=len(report.already_queued),
+            resumed_failed=len(report.resumed_failed))
+        worker = QueueWorker(
+            self.queue, store=self.store, jobs=self.jobs,
+            pool=self.pool if self.parallel else None,
+            policy=self.resilience, faults=self.faults,
+            lease_ttl_s=self.lease_ttl_s, owner=owner_id(),
+            on_result=self._consume_payload,
+            on_failure=self._note_failure,
+            on_rebuild=self._note_rebuild,
+            emit=self.journal_event, metrics=self.metrics,
+            progress=progress)
+        worker.run(watch_keys=[key for key, _ in pairs])
+        failures: List[RequestFailure] = []
+        for key, _ in pairs:
+            if key in self._memo or self._lookup(key) is not None:
+                continue  # done here or by another worker (via store)
+            job = self.queue.get(key)
+            if job is not None and job.error:
+                failures.append(RequestFailure(**job.error))
+            else:
+                failures.append(RequestFailure(
+                    key=key, kind="crash",
+                    error="job left unresolved in the queue "
+                          f"(state={job.state if job else 'missing'})"))
+        return failures
+
     def run(self, request: Request) -> Result:
         """Resolve one request (inline execution on a miss).
 
@@ -395,6 +466,8 @@ class Engine:
         Raises :class:`~repro.engine.faults.ExecutionError` when the
         request still fails after the resilience policy's retries.
         """
+        if self.queue is not None:
+            return self.run_many([request])[0]
         self._harvest_inflight()
         key = request.key()
         cached = self._lookup(key)
@@ -561,6 +634,9 @@ class Engine:
             self._pool.close()
             self._pool = None
         self._close_journal()
+        if self.queue is not None and self._owns_queue:
+            self.queue.close()
+            self.queue = None
         if self.store is not None:
             self.store.close()
 

@@ -1,0 +1,182 @@
+"""Shared SQLite database seam for the engine's durable state.
+
+Two subsystems persist engine state on disk: the content-addressed
+:class:`~repro.engine.store.ResultStore` (key → result payload) and the
+durable :class:`~repro.engine.queue.JobQueue` (key → job lifecycle).
+Both need the same plumbing — WAL mode for concurrent processes, a busy
+timeout, protection against clobbering a non-database file, bounded
+retry when a concurrent writer holds the lock — so that plumbing lives
+here once, as :class:`SQLiteBackend`.
+
+Concurrency model: many OS processes (dispatchers, workers, parallel CI
+steps) share one database file.  SQLite serializes writers; under WAL a
+writer briefly takes the write lock, so a concurrent writer can observe
+``SQLITE_BUSY`` even with a ``busy_timeout`` set (e.g. when a
+transaction must be restarted).  Every statement issued through the
+backend therefore carries a *bounded* retry-with-backoff discipline —
+concurrent workers on one database must never surface spurious
+``database is locked`` errors, and a genuinely wedged database must
+still fail loudly rather than spin forever.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sqlite3
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional, Union
+
+PathLike = Union[str, pathlib.Path]
+
+#: attempts per statement when the database is locked by another writer.
+BUSY_RETRIES = 6
+
+#: base sleep between busy retries (doubles per attempt).
+BUSY_BACKOFF_S = 0.05
+
+
+def _is_busy(exc: sqlite3.OperationalError) -> bool:
+    text = str(exc).lower()
+    return "locked" in text or "busy" in text
+
+
+def execute_with_retry(conn: sqlite3.Connection, sql: str, params=(),
+                       *, retries: int = BUSY_RETRIES):
+    """``conn.execute`` with bounded retry on ``SQLITE_BUSY``.
+
+    The busy timeout already makes SQLite wait for the lock; this loop
+    covers the cases the timeout cannot (deadlock-avoidance aborts,
+    timeout expiry under heavy writer contention).  After ``retries``
+    failed attempts the original error propagates.
+    """
+    attempt = 0
+    while True:
+        try:
+            return conn.execute(sql, params)
+        except sqlite3.OperationalError as exc:
+            if not _is_busy(exc) or attempt >= retries:
+                raise
+            time.sleep(BUSY_BACKOFF_S * (2 ** attempt))
+            attempt += 1
+
+
+class SQLiteBackend:
+    """One SQLite database file behind a retry/guard discipline.
+
+    Parameters
+    ----------
+    path:
+        Database file; parent directories are created.
+    schema:
+        SQL script run at every connect (``CREATE TABLE IF NOT
+        EXISTS ...``), so any process can open the file first.
+    busy_timeout_s:
+        How long SQLite itself blocks on a locked database before
+        returning ``SQLITE_BUSY`` (which then enters the bounded
+        python-level retry).
+
+    A corrupt database file is recreated — but only a file that ever
+    *was* a SQLite database (or an empty file).  A mistyped path
+    pointing at a real file errors out instead of destroying it.
+    """
+
+    def __init__(self, path: PathLike, *, schema: str = "",
+                 busy_timeout_s: float = 30.0) -> None:
+        self.path = pathlib.Path(path)
+        self.schema = schema
+        self.busy_timeout_s = busy_timeout_s
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            self._conn = self._connect()
+        except sqlite3.DatabaseError:
+            if not self._looks_like_sqlite():
+                raise ValueError(
+                    f"{self.path} exists and is not a SQLite database; "
+                    "refusing to overwrite it"
+                ) from None
+            self.path.unlink(missing_ok=True)
+            self._conn = self._connect()
+
+    def _looks_like_sqlite(self) -> bool:
+        try:
+            header = self.path.read_bytes()[:16]
+        except OSError:
+            return True  # vanished/unreadable: nothing to protect
+        return not header or header.startswith(b"SQLite format 3")
+
+    def _connect(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(str(self.path),
+                               timeout=self.busy_timeout_s)
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        conn.execute(f"PRAGMA busy_timeout={int(self.busy_timeout_s * 1000)}")
+        if self.schema:
+            conn.executescript(self.schema)
+        conn.commit()
+        return conn
+
+    @property
+    def connection(self) -> sqlite3.Connection:
+        return self._conn
+
+    def execute(self, sql: str, params=()):
+        """One statement with busy retry (no commit)."""
+        return execute_with_retry(self._conn, sql, params)
+
+    def commit(self, sql: str, params=()) -> None:
+        """One statement plus commit, both under busy retry."""
+        execute_with_retry(self._conn, sql, params)
+        self._commit_with_retry()
+
+    def _commit_with_retry(self, retries: int = BUSY_RETRIES) -> None:
+        attempt = 0
+        while True:
+            try:
+                self._conn.commit()
+                return
+            except sqlite3.OperationalError as exc:
+                if not _is_busy(exc) or attempt >= retries:
+                    raise
+                time.sleep(BUSY_BACKOFF_S * (2 ** attempt))
+                attempt += 1
+
+    @contextmanager
+    def transaction(self, immediate: bool = True) -> Iterator[sqlite3.Connection]:
+        """A write transaction with busy retry on acquisition.
+
+        ``BEGIN IMMEDIATE`` takes the write lock up front, so every
+        read inside the transaction sees a state no concurrent writer
+        can invalidate before the commit — the property the queue's
+        atomic lease/reclaim transitions rely on.
+        """
+        attempt = 0
+        while True:
+            try:
+                self._conn.execute(
+                    "BEGIN IMMEDIATE" if immediate else "BEGIN")
+                break
+            except sqlite3.OperationalError as exc:
+                if not _is_busy(exc) or attempt >= BUSY_RETRIES:
+                    raise
+                time.sleep(BUSY_BACKOFF_S * (2 ** attempt))
+                attempt += 1
+        try:
+            yield self._conn
+        except BaseException:
+            self._conn.rollback()
+            raise
+        else:
+            self._commit_with_retry()
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "SQLiteBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"SQLiteBackend({str(self.path)!r})"

@@ -2,10 +2,18 @@
 
 A thin SQLite key→payload table: the key is a request's content hash
 (:meth:`repro.engine.jobs.RunRequest.key`), the payload is the JSON
-serialization of its result.  SQLite in WAL mode with a busy timeout
-makes the store safe for concurrent writer *processes* (parallel CI
-steps, several ``repro`` invocations sharing one cache): writers of the
-same key race benignly because identical keys imply identical payloads.
+serialization of its result.  The database plumbing — WAL mode, busy
+timeout, bounded retry when a concurrent writer holds the lock, the
+foreign-file guard — is the shared
+:class:`~repro.engine.backend.SQLiteBackend` seam, the same abstraction
+the durable :class:`~repro.engine.queue.JobQueue` sits on, so the two
+halves of a crash-resumable campaign (results and job lifecycle) speak
+one database discipline and may even share one file.
+
+Writers of the same key race benignly because identical keys imply
+identical payloads — that is what makes the store safe for many
+concurrent worker *processes* (parallel CI steps, `repro worker`
+fleets, several ``repro`` invocations sharing one cache).
 
 The store is a cache, never a source of truth — any unreadable database
 file or undecodable row is discarded and the run recomputed.
@@ -19,6 +27,8 @@ import pathlib
 import sqlite3
 import time
 from typing import Iterator, Optional, Union
+
+from .backend import SQLiteBackend, execute_with_retry
 
 PathLike = Union[str, pathlib.Path]
 
@@ -49,38 +59,20 @@ class ResultStore:
         )
     """
 
-    def __init__(self, path: Optional[PathLike] = None) -> None:
+    def __init__(self, path: Optional[PathLike] = None, *,
+                 busy_timeout_s: float = 30.0) -> None:
         self.path = pathlib.Path(path) if path else default_store_path()
-        self.path.parent.mkdir(parents=True, exist_ok=True)
         try:
-            self._conn = self._connect()
-        except sqlite3.DatabaseError:
-            # A truncated/corrupt cache file is worthless; recreate it —
-            # but only something that ever *was* a SQLite database (or an
-            # empty file).  A mistyped --store/REPRO_STORE pointing at a
-            # real file must error out, not destroy it.
-            if not self._looks_like_sqlite():
-                raise ValueError(
-                    f"{self.path} exists and is not a SQLite result store; "
-                    "refusing to overwrite it"
-                ) from None
-            self.path.unlink(missing_ok=True)
-            self._conn = self._connect()
-
-    def _looks_like_sqlite(self) -> bool:
-        try:
-            header = self.path.read_bytes()[:16]
-        except OSError:
-            return True  # vanished/unreadable: nothing to protect
-        return not header or header.startswith(b"SQLite format 3")
-
-    def _connect(self) -> sqlite3.Connection:
-        conn = sqlite3.connect(str(self.path), timeout=30.0)
-        conn.execute("PRAGMA journal_mode=WAL")
-        conn.execute("PRAGMA synchronous=NORMAL")
-        conn.execute(self._SCHEMA)
-        conn.commit()
-        return conn
+            self._backend = SQLiteBackend(self.path, schema=self._SCHEMA,
+                                          busy_timeout_s=busy_timeout_s)
+        except ValueError:
+            # Same guard, store-specific message (a mistyped --store /
+            # REPRO_STORE pointing at a real file must not destroy it).
+            raise ValueError(
+                f"{self.path} exists and is not a SQLite result store; "
+                "refusing to overwrite it"
+            ) from None
+        self._conn = self._backend.connection
 
     # -- raw access --------------------------------------------------------
 
@@ -112,17 +104,33 @@ class ResultStore:
         return payload
 
     def put(self, key: str, payload: dict) -> None:
+        """Write one payload; retried when a concurrent worker holds
+        the write lock (bounded, see :mod:`repro.engine.backend`)."""
         blob = json.dumps(payload, separators=(",", ":"))
-        self._conn.execute(
+        self._commit(
             "INSERT OR REPLACE INTO results (key, payload, created) "
             "VALUES (?, ?, ?)",
             (key, blob, time.time()),
         )
-        self._conn.commit()
 
     def delete(self, key: str) -> None:
-        self._conn.execute("DELETE FROM results WHERE key = ?", (key,))
-        self._conn.commit()
+        self._commit("DELETE FROM results WHERE key = ?", (key,))
+
+    def _commit(self, sql: str, params=()) -> None:
+        """Statement + commit, each under bounded SQLITE_BUSY retry."""
+        execute_with_retry(self._conn, sql, params)
+        attempt = 0
+        while True:
+            try:
+                self._conn.commit()
+                return
+            except sqlite3.OperationalError as exc:
+                from .backend import BUSY_BACKOFF_S, BUSY_RETRIES, _is_busy
+
+                if not _is_busy(exc) or attempt >= BUSY_RETRIES:
+                    raise
+                time.sleep(BUSY_BACKOFF_S * (2 ** attempt))
+                attempt += 1
 
     def keys(self) -> Iterator[str]:
         for (key,) in self._conn.execute("SELECT key FROM results"):
@@ -138,8 +146,7 @@ class ResultStore:
         return self.get(key) is not None
 
     def clear(self) -> None:
-        self._conn.execute("DELETE FROM results")
-        self._conn.commit()
+        self._commit("DELETE FROM results")
 
     def close(self) -> None:
         self._conn.close()

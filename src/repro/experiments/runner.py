@@ -196,10 +196,14 @@ class ExperimentContext:
         """Batch-resolve ``requests`` ahead of the serial driver code.
 
         With a parallel engine the misses fan out across worker
-        processes; with a serial engine this is a no-op (the runs would
-        execute at the same cost when first demanded).
+        processes; with a queue-backed engine they are dispatched as
+        one batch of durable jobs even at ``jobs=1``, so external
+        workers can share the load and a crash resumes the whole batch.
+        With a serial, queue-less engine this is a no-op (the runs
+        would execute at the same cost when first demanded).
         """
-        if requests and self.engine.parallel:
+        if requests and (self.engine.parallel
+                         or getattr(self.engine, "queue", None) is not None):
             self.engine.run_many(requests)
 
     # -- primitive runs -------------------------------------------------------

@@ -26,6 +26,10 @@ Event vocabulary (see :data:`EVENT_FIELDS` for the exact schema):
 ``rebuild``
     The worker pool died and was rebuilt: cumulative rebuild count and
     whether the pool has degraded to inline execution.
+``dispatch`` / ``lease`` / ``reclaim``
+    Durable-queue lifecycle (see :mod:`repro.engine.queue`): a spec
+    lowered into enqueued jobs, a worker taking leases, and expired
+    leases recycled after a worker died.
 ``summary``
     Engine shutdown: the machine-readable counters
     (:meth:`~repro.engine.api.EngineCounters.to_dict`) and the full
@@ -44,7 +48,7 @@ import pathlib
 import socket
 import subprocess
 import time
-from typing import Dict, Iterator, List, Optional, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 __all__ = [
     "FAILURE_KINDS",
@@ -56,6 +60,7 @@ __all__ = [
     "provenance",
     "read_journal",
     "summarize_journal",
+    "summarize_journals",
     "validate_event",
     "validate_journal",
 ]
@@ -73,6 +78,9 @@ EVENT_FIELDS = {
     "failure": {"key": (str,), "kind": (str,), "attempt": (int,),
                 "retrying": (bool,)},
     "rebuild": {"rebuilds": (int,)},
+    "dispatch": {"queue": (str,), "enqueued": (int,)},
+    "lease": {"owner": (str,), "count": (int,), "keys": (list,)},
+    "reclaim": {"owner": (str,), "requeued": (list,), "failed": (list,)},
     "summary": {"counters": (dict,)},
 }
 
@@ -250,6 +258,7 @@ def summarize_journal(path: PathLike) -> dict:
     workers: Dict[str, int] = {}
     phases: Dict[str, dict] = {}
     failures = {"retried": 0, "terminal": 0}
+    queue = {"dispatched": 0, "leases": 0, "reclaims": 0}
     rebuilds = 0
     for event in events:
         if event.get("type") == "request":
@@ -266,6 +275,13 @@ def summarize_journal(path: PathLike) -> dict:
                 failures["terminal"] += 1
         elif event.get("type") == "rebuild":
             rebuilds = max(rebuilds, event.get("rebuilds") or 0)
+        elif event.get("type") == "dispatch":
+            queue["dispatched"] += event.get("enqueued") or 0
+        elif event.get("type") == "lease":
+            queue["leases"] += event.get("count") or 0
+        elif event.get("type") == "reclaim":
+            queue["reclaims"] += (len(event.get("requeued") or ())
+                                  + len(event.get("failed") or ()))
     for span in _iter_spans(events):
         name = span.get("name", "?")
         phase = phases.setdefault(
@@ -281,7 +297,10 @@ def summarize_journal(path: PathLike) -> dict:
         if event.get("type") == "summary":
             counters = event.get("counters") or {}
     return {
+        "journals": 1,
         "events": len(events),
+        "started": min(timestamps) if timestamps else None,
+        "ended": max(timestamps) if timestamps else None,
         "duration_s": (max(timestamps) - min(timestamps)) if timestamps
         else 0.0,
         "requests": dict(requests,
@@ -289,9 +308,62 @@ def summarize_journal(path: PathLike) -> dict:
         "phases": phases,
         "workers": workers,
         "failures": failures,
+        "queue": queue,
         "rebuilds": rebuilds,
         "counters": counters,
     }
+
+
+def summarize_journals(paths: Sequence[PathLike]) -> dict:
+    """Aggregate several journals (one per worker process) into one
+    campaign report.
+
+    Additive fields (requests, phases, workers, failures, queue
+    activity, rebuilds, final counters) sum across journals; the
+    campaign duration spans the earliest to the latest event over *all*
+    files, so concurrent workers do not double-count wall time.
+    """
+    paths = list(paths)
+    if not paths:
+        raise ValueError("summarize_journals needs at least one journal")
+    merged: Optional[dict] = None
+    for path in paths:
+        part = summarize_journal(path)
+        if merged is None:
+            merged = part
+            continue
+        merged["journals"] += 1
+        merged["events"] += part["events"]
+        for bound, pick in (("started", min), ("ended", max)):
+            values = [v for v in (merged[bound], part[bound])
+                      if v is not None]
+            merged[bound] = pick(values) if values else None
+        for outcome, count in part["requests"].items():
+            merged["requests"][outcome] = (
+                merged["requests"].get(outcome, 0) + count)
+        for name, phase in part["phases"].items():
+            into = merged["phases"].setdefault(
+                name, {"count": 0, "wall_s": 0.0, "cpu_s": 0.0})
+            for field in ("count", "wall_s", "cpu_s"):
+                into[field] += phase[field]
+        for worker, count in part["workers"].items():
+            merged["workers"][worker] = (
+                merged["workers"].get(worker, 0) + count)
+        for field in ("retried", "terminal"):
+            merged["failures"][field] += part["failures"][field]
+        for field in ("dispatched", "leases", "reclaims"):
+            merged["queue"][field] += part["queue"][field]
+        merged["rebuilds"] += part["rebuilds"]
+        for name, value in part["counters"].items():
+            if isinstance(value, (int, float)) and not isinstance(
+                    value, bool):
+                merged["counters"][name] = (
+                    merged["counters"].get(name, 0) + value)
+            else:
+                merged["counters"].setdefault(name, value)
+    if merged["started"] is not None and merged["ended"] is not None:
+        merged["duration_s"] = merged["ended"] - merged["started"]
+    return merged
 
 
 def aggregate_spans(path: PathLike) -> List[dict]:
@@ -318,13 +390,23 @@ def aggregate_spans(path: PathLike) -> List[dict]:
 
 def format_summary(summary: dict) -> str:
     requests = summary["requests"]
+    journals = summary.get("journals", 1)
+    source = "journal" if journals == 1 else f"{journals} journals"
     lines = [
-        f"journal: {summary['events']} events over "
+        f"{source}: {summary['events']} events over "
         f"{summary['duration_s']:.2f}s",
         f"requests: {requests['executed']} executed, "
         f"{requests['store']} store hits, {requests['memo']} memo hits "
         f"({requests['total']} total)",
     ]
+    queue = summary.get("queue") or {}
+    if queue.get("dispatched") or queue.get("leases") \
+            or queue.get("reclaims"):
+        lines.append(
+            f"queue: {queue.get('dispatched', 0)} dispatched, "
+            f"{queue.get('leases', 0)} leases, "
+            f"{queue.get('reclaims', 0)} reclaims"
+        )
     failures = summary.get("failures") or {}
     if failures.get("retried") or failures.get("terminal") \
             or summary.get("rebuilds"):
