@@ -1,0 +1,50 @@
+"""Invariant linter: AST-based static analysis for repo invariants.
+
+The engine stack rests on properties no test suite can exhaustively
+check — content-hash keys must be pure, replays must be
+deterministic, every shared-SQLite write must cross the
+``engine/backend.py`` seam.  This package proves them statically at
+every commit:
+
+>>> from repro.analysis import lint_source
+>>> findings = lint_source("try:\\n    pass\\nexcept:\\n    pass\\n")
+>>> [f.rule for f in findings]
+['no-bare-except']
+
+Rules are ``lint_rule`` components in the unified registry
+(importing this package registers the built-ins), the CLI surface is
+``repro check``, and per-line waivers use ``# repro: allow(<rule>)``.
+See ``docs/static-analysis.md`` for the rule catalog.
+"""
+
+from .core import (
+    Finding,
+    LintRule,
+    LintRun,
+    apply_suppressions,
+    available_rules,
+    lint_paths,
+    lint_source,
+    resolve_rules,
+)
+from .report import JSON_SCHEMA_VERSION, render_json, render_text
+from .visitor import ModuleIndex
+
+# importing the built-in rules registers them with the component
+# registry as a side effect
+from . import rules as _rules  # noqa: F401  (registration side effect)
+
+__all__ = [
+    "Finding",
+    "LintRule",
+    "LintRun",
+    "ModuleIndex",
+    "JSON_SCHEMA_VERSION",
+    "apply_suppressions",
+    "available_rules",
+    "lint_paths",
+    "lint_source",
+    "render_json",
+    "render_text",
+    "resolve_rules",
+]

@@ -1,0 +1,56 @@
+"""Reporters for lint runs: ``file:line`` text and machine JSON.
+
+The text form is what developers and CI logs read; the JSON form is a
+stable schema (``schema`` / ``findings`` / ``counts`` / ``summary``)
+for tooling — the CI ``check`` job validates it with ``json.loads``
+and tests pin its keys.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from .core import LintRun
+
+#: bumped whenever the JSON reporter's shape changes.
+JSON_SCHEMA_VERSION = 1
+
+
+def counts_by_rule(run: LintRun) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for finding in run.findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return counts
+
+
+def render_text(run: LintRun) -> str:
+    """``path:line: rule: message`` lines plus a one-line summary."""
+    lines: List[str] = [finding.format() for finding in run.findings]
+    noun = "finding" if len(run.findings) == 1 else "findings"
+    summary = (
+        f"{len(run.findings)} {noun} in {run.files_checked} files "
+        f"({len(run.rules)} rules"
+    )
+    if run.suppressed:
+        summary += f", {run.suppressed} suppressed"
+    summary += ")"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(run: LintRun) -> str:
+    """The machine-readable report (sorted keys, trailing newline)."""
+    payload = {
+        "schema": JSON_SCHEMA_VERSION,
+        "rules": list(run.rules),
+        "files_checked": run.files_checked,
+        "suppressed": run.suppressed,
+        "counts": counts_by_rule(run),
+        "findings": [finding.to_dict() for finding in run.findings],
+        "summary": {
+            "total": len(run.findings),
+            "ok": not run.findings,
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

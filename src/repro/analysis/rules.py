@@ -1,0 +1,727 @@
+"""Built-in invariant-linter rules.
+
+Each rule encodes one repo invariant the engine stack depends on —
+content-hash purity, replay determinism, the single SQLite write seam,
+fork-safe worker state — as an AST check over :class:`ModuleIndex`
+views.  All six register themselves with the unified component
+registry under the ``lint_rule`` kind, so ``repro check --rule <id>``
+and plugin-contributed rules resolve through the same path.
+
+The rules here are deliberately over-approximate: a false positive
+costs one reviewed ``# repro: allow(<rule>)`` comment, while a false
+negative costs a cache poisoned by an impure key or a replay that
+diverges across hosts.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import pathlib
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..api.registry import register_lint_rule
+from .core import Finding, LintRule
+from .visitor import ModuleIndex
+
+#: bare function names that compute (or feed) content-hash identity.
+KEY_SEEDS = {
+    "content_key", "canonical_recipe", "canonical", "_canonical_spec",
+    "fingerprint",
+}
+
+#: modules whose entire body sits on a content-keyed path.
+CONTENT_KEYED_MODULES = (
+    "engine/jobs.py", "api/spec.py", "workloads/tracecache.py",
+)
+
+
+# ---------------------------------------------------------------------------
+# no-wallclock-nondeterminism
+# ---------------------------------------------------------------------------
+
+#: canonical call targets whose result differs run-to-run.
+WALLCLOCK_CALLS = {
+    "time.time": "wall-clock time",
+    "time.time_ns": "wall-clock time",
+    "time.monotonic": "monotonic clock",
+    "time.monotonic_ns": "monotonic clock",
+    "time.perf_counter": "performance counter",
+    "time.perf_counter_ns": "performance counter",
+    "datetime.datetime.now": "current datetime",
+    "datetime.datetime.utcnow": "current datetime",
+    "datetime.datetime.today": "current date",
+    "datetime.date.today": "current date",
+    "uuid.uuid1": "host/time-derived uuid",
+    "uuid.uuid4": "random uuid",
+}
+
+#: module-level ``random`` functions (the implicitly-seeded global RNG).
+GLOBAL_RANDOM_CALLS = {
+    "random.random", "random.randint", "random.randrange",
+    "random.choice", "random.choices", "random.shuffle", "random.sample",
+    "random.uniform", "random.getrandbits", "random.gauss",
+    "random.randbytes",
+}
+
+
+@register_lint_rule(
+    "no-wallclock-nondeterminism",
+    description="no wall-clock, uuid, or unseeded random on "
+                "content-keyed paths",
+)
+class NoWallclockNondeterminism(LintRule):
+    """Content-keyed code must be a pure function of its inputs.
+
+    Results are memoised under ``sha256`` of the canonical spec and
+    chaos runs replay from ``sha256(seed:key)``; a ``time.time()`` or
+    unseeded ``random`` call on those paths silently breaks both.  The
+    rule bans nondeterministic sources (a) anywhere inside the
+    content-keyed modules (``engine/jobs.py``, ``api/spec.py``,
+    ``workloads/tracecache.py``) and (b) in any module, inside
+    functions reachable from the key seeds (``content_key``,
+    ``canonical_recipe``, ...).
+    """
+
+    id = "no-wallclock-nondeterminism"
+    description = ("no wall-clock, uuid, or unseeded random on "
+                   "content-keyed paths")
+
+    def _check_call(self, module: ModuleIndex, call: ast.Call,
+                    where: str) -> Optional[Finding]:
+        target = module.resolve_call(call)
+        if target is None:
+            return None
+        if target in WALLCLOCK_CALLS:
+            return self.finding(
+                module, call.lineno,
+                f"{target}() reads {WALLCLOCK_CALLS[target]} {where}; "
+                f"derive values from the spec or the seeded RNG instead",
+                col=call.col_offset,
+            )
+        if target in GLOBAL_RANDOM_CALLS:
+            return self.finding(
+                module, call.lineno,
+                f"{target}() uses the implicitly-seeded global RNG "
+                f"{where}; use random.Random(seed) derived from the "
+                f"content key",
+                col=call.col_offset,
+            )
+        if target == "random.Random" and not call.args \
+                and not call.keywords:
+            return self.finding(
+                module, call.lineno,
+                f"random.Random() with no seed is wall-clock seeded "
+                f"{where}; pass a seed derived from the content key",
+                col=call.col_offset,
+            )
+        return None
+
+    def check_module(self, module: ModuleIndex) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        if module.matches_path(CONTENT_KEYED_MODULES):
+            where = "in a content-keyed module"
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.Call):
+                    found = self._check_call(module, node, where)
+                    if found:
+                        findings.append(found)
+            return findings
+        reached = module.reachable_functions(KEY_SEEDS)
+        if not reached:
+            return findings
+        where = "on a content-key path"
+        for fn in module.function_bodies(reached):
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Call):
+                    found = self._check_call(module, node, where)
+                    if found:
+                        findings.append(found)
+        return findings
+
+
+# ---------------------------------------------------------------------------
+# key-purity
+# ---------------------------------------------------------------------------
+
+#: canonical names whose *value* depends on the host or process.
+IMPURE_NAMES = {
+    "os.getenv": "the environment",
+    "os.getcwd": "the working directory",
+    "os.getpid": "the process id",
+    "os.getppid": "the parent process id",
+    "os.uname": "host identity",
+    "os.path.expanduser": "the home directory",
+    "os.path.abspath": "the working directory",
+    "os.path.realpath": "the filesystem layout",
+    "socket.gethostname": "the hostname",
+    "socket.getfqdn": "the hostname",
+    "platform.node": "the hostname",
+    "platform.uname": "host identity",
+    "platform.platform": "host identity",
+    "pathlib.Path.cwd": "the working directory",
+    "pathlib.Path.home": "the home directory",
+    "Path.cwd": "the working directory",
+    "Path.home": "the home directory",
+    "sys.argv": "the command line",
+    "tempfile.gettempdir": "the temp directory",
+}
+
+#: prefix-matched impure roots (``os.environ['X']``, ``.get`` etc.).
+IMPURE_PREFIXES = {
+    "os.environ": "the environment",
+}
+
+
+@register_lint_rule(
+    "key-purity",
+    description="content-key functions may not read environment, "
+                "paths, hostname, or pid",
+)
+class KeyPurity(LintRule):
+    """Nothing reachable from a key function may observe the host.
+
+    ``content_key()`` / ``canonical_recipe()`` / ``_canonical_spec()``
+    / ``fingerprint()`` decide cache identity: two hosts computing
+    different keys for the same spec duplicate every simulation, and
+    an env-dependent key poisons shared result stores.  The rule walks
+    the local call graph from those seeds and flags any read of
+    ``os.environ``, cwd/home paths, hostname, pid, or argv.
+    """
+
+    id = "key-purity"
+    description = ("content-key functions may not read environment, "
+                   "paths, hostname, or pid")
+
+    def _impurity(self, name: Optional[str]) -> Optional[Tuple[str, str]]:
+        if name is None:
+            return None
+        if name in IMPURE_NAMES:
+            return name, IMPURE_NAMES[name]
+        for prefix, what in IMPURE_PREFIXES.items():
+            if name == prefix or name.startswith(prefix + "."):
+                return prefix, what
+        return None
+
+    def check_module(self, module: ModuleIndex) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        reached = module.reachable_functions(KEY_SEEDS)
+        if not reached:
+            return findings
+        seen: Set[Tuple[int, str]] = set()
+        for fn in module.function_bodies(reached):
+            fn_name = getattr(fn, "name", "?")
+            for node in ast.walk(fn):
+                if not isinstance(node, (ast.Attribute, ast.Name)):
+                    continue
+                hit = self._impurity(module.resolve(node))
+                if hit is None:
+                    continue
+                name, what = hit
+                if (node.lineno, name) in seen:
+                    continue
+                seen.add((node.lineno, name))
+                findings.append(self.finding(
+                    module, node.lineno,
+                    f"{name} reads {what} inside {fn_name}(), which is "
+                    f"reachable from a content-key function; keys must "
+                    f"be pure functions of the spec",
+                    col=node.col_offset,
+                ))
+        return findings
+
+
+# ---------------------------------------------------------------------------
+# backend-transaction-discipline
+# ---------------------------------------------------------------------------
+
+#: receiver names treated as DB connections/cursors (normalised).
+CONNECTION_NAMES = {"conn", "connection", "cursor", "cur", "db"}
+
+#: the module that owns raw sqlite access.
+BACKEND_MODULE = "engine/backend.py"
+
+
+def _receiver_name(call: ast.Call) -> Optional[Tuple[str, bool]]:
+    """``(name, is_plain_name)`` of a method call's receiver.
+
+    ``conn.execute(...)`` → ``("conn", True)``;
+    ``self._conn.execute(...)`` → ``("_conn", False)``.
+    """
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    value = func.value
+    if isinstance(value, ast.Name):
+        return value.id, True
+    if isinstance(value, ast.Attribute):
+        return value.attr, False
+    return None
+
+
+def _connection_like(name: str) -> bool:
+    return name.strip("_").lower() in CONNECTION_NAMES
+
+
+@register_lint_rule(
+    "backend-transaction-discipline",
+    description="raw sqlite3 access only inside engine/backend.py or "
+                "blessed transaction blocks",
+)
+class BackendTransactionDiscipline(LintRule):
+    """Every shared-SQLite touch goes through the backend seam.
+
+    ``engine/backend.py`` owns WAL setup, busy-timeout retry, and
+    ``BEGIN IMMEDIATE`` transactions; a raw ``sqlite3.connect`` or
+    stray ``conn.execute`` elsewhere bypasses all three and reintroduces
+    the ``database is locked`` failures the seam exists to absorb.
+    Connection-method calls are allowed only on a name bound by a
+    ``with backend.transaction() as conn:`` block (and, trivially,
+    anywhere inside ``engine/backend.py`` itself).
+    """
+
+    id = "backend-transaction-discipline"
+    description = ("raw sqlite3 access only inside engine/backend.py "
+                   "or blessed transaction blocks")
+
+    #: connection methods that hit the database.
+    DB_METHODS = {"execute", "executemany", "executescript"}
+
+    def check_module(self, module: ModuleIndex) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        if module.matches_path((BACKEND_MODULE,)):
+            return findings
+        blessed = module.with_bound_names("transaction")
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if module.resolve_call(node) == "sqlite3.connect":
+                findings.append(self.finding(
+                    module, node.lineno,
+                    "raw sqlite3.connect() outside engine/backend.py; "
+                    "open shared databases through SQLiteBackend",
+                    col=node.col_offset,
+                ))
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute)
+                    and func.attr in self.DB_METHODS):
+                continue
+            receiver = _receiver_name(node)
+            if receiver is None or not _connection_like(receiver[0]):
+                continue
+            name, is_plain = receiver
+            if is_plain and any(
+                name == bound and first <= node.lineno <= last
+                for bound, first, last in blessed
+            ):
+                continue
+            findings.append(self.finding(
+                module, node.lineno,
+                f"{name}.{func.attr}(...) outside a "
+                f"`with backend.transaction() as {name}:` block; raw "
+                f"connection use belongs in engine/backend.py",
+                col=node.col_offset,
+            ))
+        return findings
+
+
+# ---------------------------------------------------------------------------
+# fork-state-hygiene
+# ---------------------------------------------------------------------------
+
+#: constructors whose result is module-level mutable state.
+CONTAINER_CALLS = {
+    "dict", "list", "set", "collections.OrderedDict",
+    "collections.defaultdict", "collections.Counter",
+    "collections.deque", "OrderedDict", "defaultdict", "Counter",
+    "deque",
+}
+
+#: method names that mutate a container in place.
+MUTATOR_METHODS = {
+    "append", "add", "update", "extend", "insert", "setdefault",
+    "pop", "popitem", "clear", "remove", "discard", "appendleft",
+}
+
+#: a module exposing any of these verbs has a drain/reset discipline.
+STATE_API_VERBS = ("reset", "drain", "take_since", "clear", "snapshot",
+                   "delta")
+
+
+def _is_container_value(module: ModuleIndex,
+                        value: ast.AST) -> bool:
+    if isinstance(value, (ast.Dict, ast.List, ast.Set)):
+        return True
+    if isinstance(value, ast.Call):
+        target = module.resolve_call(value)
+        return target in CONTAINER_CALLS
+    return False
+
+
+def _local_bindings(fn: ast.AST) -> Set[str]:
+    """Names bound locally in ``fn`` (params + plain assignments),
+    minus those declared ``global``/``nonlocal``."""
+    bound: Set[str] = set()
+    escaped: Set[str] = set()
+    args = fn.args
+    for arg in (args.posonlyargs + args.args + args.kwonlyargs):
+        bound.add(arg.arg)
+    if args.vararg:
+        bound.add(args.vararg.arg)
+    if args.kwarg:
+        bound.add(args.kwarg.arg)
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.Global, ast.Nonlocal)):
+            escaped.update(node.names)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    bound.add(target.id)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            if isinstance(node.target, ast.Name):
+                bound.add(node.target.id)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            if isinstance(node.target, ast.Name):
+                bound.add(node.target.id)
+    return bound - escaped
+
+
+@register_lint_rule(
+    "fork-state-hygiene",
+    description="module-level mutable state mutated in functions needs "
+                "a take_since/reset discipline",
+)
+class ForkStateHygiene(LintRule):
+    """Worker-visible module globals must be drainable, not ambient.
+
+    Pool workers are forked/spawned: module-level dicts mutated inside
+    functions silently diverge between parent and children, which is
+    why ``obs/`` state uses ``take_since``/delta-merge and the trace
+    cache ships ``reset_trace_cache``.  The rule flags a module-level
+    container that functions mutate unless the module exposes a
+    reset/drain-style API (``reset*``, ``drain*``, ``take_since``,
+    ``clear*``, ``snapshot*``, ``delta*``) or the binding is an
+    UPPER_CASE registry populated at import time.
+    """
+
+    id = "fork-state-hygiene"
+    description = ("module-level mutable state mutated in functions "
+                   "needs a take_since/reset discipline")
+
+    def _module_containers(self, module: ModuleIndex) -> Dict[str, int]:
+        containers: Dict[str, int] = {}
+        for stmt in module.tree.body:
+            targets: List[ast.expr] = []
+            value: Optional[ast.AST] = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            if value is None or not _is_container_value(module, value):
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    containers.setdefault(target.id, stmt.lineno)
+        return containers
+
+    def _has_state_api(self, module: ModuleIndex) -> bool:
+        return any(
+            verb in name
+            for name in module.functions
+            for verb in STATE_API_VERBS
+        )
+
+    def check_module(self, module: ModuleIndex) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        containers = {
+            name: line
+            for name, line in self._module_containers(module).items()
+            if not name.strip("_").isupper()
+        }
+        if not containers or self._has_state_api(module):
+            return findings
+        flagged: Set[str] = set()
+        for defs in module.functions.values():
+            for fn in defs:
+                local = _local_bindings(fn)
+                fn_name = getattr(fn, "name", "?")
+                declared_global: Set[str] = set()
+                for node in ast.walk(fn):
+                    if isinstance(node, ast.Global):
+                        declared_global.update(node.names)
+                for node in ast.walk(fn):
+                    name = self._mutated_name(node)
+                    if name is None or name not in containers \
+                            or name in flagged:
+                        continue
+                    if name in local and name not in declared_global:
+                        continue
+                    flagged.add(name)
+                    findings.append(self.finding(
+                        module, node.lineno,
+                        f"module-level mutable {name!r} (defined line "
+                        f"{containers[name]}) is mutated in {fn_name}() "
+                        f"with no reset/take_since API; forked workers "
+                        f"will silently diverge (see repro.obs.spans)",
+                        col=getattr(node, "col_offset", 0),
+                    ))
+        return findings
+
+    @staticmethod
+    def _mutated_name(node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.Subscript) \
+                and isinstance(node.ctx, (ast.Store, ast.Del)) \
+                and isinstance(node.value, ast.Name):
+            return node.value.id
+        if isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute) \
+                and node.func.attr in MUTATOR_METHODS \
+                and isinstance(node.func.value, ast.Name):
+            return node.func.value.id
+        if isinstance(node, ast.AugAssign) \
+                and isinstance(node.target, ast.Name):
+            return node.target.id
+        return None
+
+
+# ---------------------------------------------------------------------------
+# no-bare-except
+# ---------------------------------------------------------------------------
+
+@register_lint_rule(
+    "no-bare-except",
+    description="no bare except or silently-swallowed Exception "
+                "handlers",
+)
+class NoBareExcept(LintRule):
+    """Swallowing everything hides the faults the engine must surface.
+
+    The fault-tolerance layer depends on exceptions reaching the retry
+    and journal machinery; ``except: pass`` converts a crash into a
+    silent wrong answer.  Bare ``except:`` is always flagged (it also
+    eats ``KeyboardInterrupt``).  ``except Exception:`` is flagged only
+    when it both discards the exception (no ``as exc``) and does
+    nothing (``pass``/``continue``/constant ``return``) — handlers
+    that inspect, log, or convert the error are fine.  Documented
+    crash-tolerant readers suppress with ``# repro:
+    allow(no-bare-except)``.
+    """
+
+    id = "no-bare-except"
+    description = ("no bare except or silently-swallowed Exception "
+                   "handlers")
+
+    BROAD = {"Exception", "BaseException"}
+
+    def _is_silent_body(self, body: Sequence[ast.stmt]) -> bool:
+        for stmt in body:
+            if isinstance(stmt, (ast.Pass, ast.Continue, ast.Break)):
+                continue
+            if isinstance(stmt, ast.Return) and (
+                stmt.value is None
+                or isinstance(stmt.value, ast.Constant)
+            ):
+                continue
+            return False
+        return True
+
+    def check_module(self, module: ModuleIndex) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                findings.append(self.finding(
+                    module, node.lineno,
+                    "bare `except:` also catches KeyboardInterrupt/"
+                    "SystemExit; name the exception types",
+                    col=node.col_offset,
+                ))
+                continue
+            resolved = module.resolve(node.type)
+            if resolved in self.BROAD and node.name is None \
+                    and self._is_silent_body(node.body):
+                findings.append(self.finding(
+                    module, node.lineno,
+                    f"`except {resolved}:` silently swallows every "
+                    f"error; narrow the exception types or handle the "
+                    f"error (suppress only for documented "
+                    f"crash-tolerant readers)",
+                    col=node.col_offset,
+                ))
+        return findings
+
+
+# ---------------------------------------------------------------------------
+# registry-schema-sync
+# ---------------------------------------------------------------------------
+
+@register_lint_rule(
+    "registry-schema-sync",
+    description="registered component schemas must match factory "
+                "signatures",
+)
+class RegistrySchemaSync(LintRule):
+    """An explicit schema that disagrees with its factory is a trap.
+
+    ``registry.validate`` trusts explicit schemas as authoritative: a
+    schema key the factory rejects fails only at ``create()`` time
+    inside a pool worker, and a required factory parameter missing from
+    the schema passes validation then explodes.  The AST mode checks
+    dict-literal ``schema=`` arguments against locally-defined factory
+    signatures; when the linted set includes ``api/registry.py`` itself
+    a live cross-check walks every registered component via
+    :mod:`inspect`.
+    """
+
+    id = "registry-schema-sync"
+    description = ("registered component schemas must match factory "
+                   "signatures")
+
+    def check_module(self, module: ModuleIndex) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute)
+                    and func.attr == "register"):
+                continue
+            schema_node = self._kwarg(node, "schema")
+            if not isinstance(schema_node, ast.Dict):
+                continue
+            factory_node = node.args[2] if len(node.args) >= 3 \
+                else self._kwarg(node, "factory")
+            if not isinstance(factory_node, ast.Name):
+                continue
+            defs = module.functions.get(factory_node.id)
+            if not defs:
+                continue
+            fn = defs[0]
+            params, has_kwargs, required = self._signature(fn)
+            schema_keys = [
+                key.value for key in schema_node.keys
+                if isinstance(key, ast.Constant)
+                and isinstance(key.value, str)
+            ]
+            for key in schema_keys:
+                if key not in params and not has_kwargs:
+                    findings.append(self.finding(
+                        module, node.lineno,
+                        f"schema key {key!r} is not a parameter of "
+                        f"factory {factory_node.id}(); create() would "
+                        f"fail on any spec that sets it",
+                        col=node.col_offset,
+                    ))
+            for name in required:
+                if name not in schema_keys:
+                    findings.append(self.finding(
+                        module, node.lineno,
+                        f"factory {factory_node.id}() requires "
+                        f"parameter {name!r} but the schema omits it; "
+                        f"validate() would pass specs that create() "
+                        f"rejects",
+                        col=node.col_offset,
+                    ))
+        return findings
+
+    @staticmethod
+    def _kwarg(call: ast.Call, name: str) -> Optional[ast.AST]:
+        for keyword in call.keywords:
+            if keyword.arg == name:
+                return keyword.value
+        return None
+
+    @staticmethod
+    def _signature(fn: ast.AST) -> Tuple[Set[str], bool, List[str]]:
+        args = fn.args
+        names = [arg.arg for arg in
+                 (args.posonlyargs + args.args + args.kwonlyargs)
+                 if arg.arg not in ("self", "cls")]
+        positional = [arg.arg for arg in (args.posonlyargs + args.args)
+                      if arg.arg not in ("self", "cls")]
+        n_defaults = len(args.defaults)
+        required = positional[:len(positional) - n_defaults] \
+            if n_defaults < len(positional) else []
+        kw_required = [
+            arg.arg for arg, default in
+            zip(args.kwonlyargs, args.kw_defaults)
+            if default is None
+        ]
+        return set(names), args.kwarg is not None, required + kw_required
+
+    def check_project(
+        self, modules: Sequence[ModuleIndex]
+    ) -> Iterable[Finding]:
+        # The live cross-check only makes sense when linting the real
+        # tree (fixture/corpus runs would otherwise inherit findings
+        # about files outside the run); keying it on the presence of
+        # the registry module scopes it exactly to those runs.
+        if not any(m.matches_path(("api/registry.py",))
+                   for m in modules):
+            return ()
+        findings: List[Finding] = []
+        from ..api.registry import REQUIRED, registry
+
+        for kind in registry.kinds():
+            for name in registry.names(kind):
+                component = registry.get(kind, name)
+                if component.open_options:
+                    continue
+                try:
+                    signature = inspect.signature(component.factory)
+                except (TypeError, ValueError):
+                    continue
+                params = signature.parameters
+                has_kwargs = any(
+                    p.kind is inspect.Parameter.VAR_KEYWORD
+                    for p in params.values()
+                )
+                accepted = {
+                    pname for pname, p in params.items()
+                    if p.kind in (p.POSITIONAL_OR_KEYWORD, p.KEYWORD_ONLY)
+                    and pname not in ("self", "cls")
+                }
+                required = {
+                    pname for pname, p in params.items()
+                    if p.kind in (p.POSITIONAL_OR_KEYWORD, p.KEYWORD_ONLY)
+                    and p.default is inspect.Parameter.empty
+                    and pname not in ("self", "cls")
+                }
+                path, line = self._component_location(component.factory)
+                for key in component.schema:
+                    if key not in accepted and not has_kwargs:
+                        findings.append(Finding(
+                            path=path, line=line, rule=self.id,
+                            message=f"{kind} {name!r}: schema key "
+                                    f"{key!r} is not accepted by its "
+                                    f"factory",
+                        ))
+                for pname in sorted(required):
+                    spec = component.schema.get(pname)
+                    if spec is None or spec.default is not REQUIRED:
+                        findings.append(Finding(
+                            path=path, line=line, rule=self.id,
+                            message=f"{kind} {name!r}: factory "
+                                    f"requires {pname!r} but the "
+                                    f"schema does not mark it "
+                                    f"required",
+                        ))
+        return findings
+
+    @staticmethod
+    def _component_location(factory) -> Tuple[str, int]:
+        try:
+            source = inspect.getsourcefile(factory)
+            _, line = inspect.getsourcelines(factory)
+        except (TypeError, OSError):
+            return "api/registry.py", 1
+        if source is None:
+            return "api/registry.py", 1
+        path = pathlib.Path(source)
+        try:
+            rel = path.resolve().relative_to(pathlib.Path.cwd())
+        except ValueError:
+            rel = path
+        return str(rel), line

@@ -1,0 +1,202 @@
+"""Shared AST infrastructure for the invariant linter.
+
+Every lint rule sees a module through one :class:`ModuleIndex`: the
+parsed tree plus the derived views rules keep needing —
+
+* an import *alias map* so ``import numpy as np`` / ``from os import
+  environ`` resolve back to canonical dotted names (``np.x`` →
+  ``numpy.x``, ``environ`` → ``os.environ``),
+* :meth:`resolve` / :meth:`resolve_call`, which turn an attribute chain
+  or call target into that canonical dotted name,
+* a bare-name index of every function/method definition and a local
+  call graph over it (:meth:`reachable_functions`), the basis of the
+  "nothing reachable from ``content_key`` may ..." style rules,
+* per-line ``# repro: allow(<rule>[, <rule>...])`` suppressions
+  (:meth:`is_suppressed`), honoured on the flagged line or on a
+  standalone comment line directly above it.
+
+The index is computed once per file and shared by every rule, so
+adding a rule costs one more walk over an already-parsed tree, never a
+re-parse.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+#: the suppression comment grammar: ``# repro: allow(rule-a, rule-b)``.
+SUPPRESS_RE = re.compile(r"#\s*repro:\s*allow\(([^)]*)\)")
+
+
+class ModuleIndex:
+    """One parsed module plus the resolved views lint rules share."""
+
+    def __init__(self, source: str, path: str,
+                 rel_path: Optional[str] = None) -> None:
+        self.source = source
+        self.path = str(path)
+        #: repo-relative path used for reporting and path-scoped rules.
+        self.rel_path = (rel_path or str(path)).replace("\\", "/")
+        self.lines: List[str] = source.splitlines()
+        self.tree: ast.Module = ast.parse(source, filename=self.path)
+        #: local name -> canonical dotted name, from every import form.
+        self.aliases: Dict[str, str] = {}
+        #: bare function/method name -> its definitions (module + class).
+        self.functions: Dict[str, List[ast.AST]] = {}
+        #: lineno -> rule ids allowed on that line.
+        self.suppressions: Dict[int, Set[str]] = {}
+        self._collect_imports()
+        self._collect_functions()
+        self._collect_suppressions()
+
+    # -- construction -------------------------------------------------------
+
+    def _collect_imports(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.aliases[alias.asname] = alias.name
+                    else:
+                        # ``import os.path`` binds the name ``os``.
+                        head = alias.name.split(".", 1)[0]
+                        self.aliases.setdefault(head, head)
+            elif isinstance(node, ast.ImportFrom):
+                # Relative imports keep their dotted tail ("..obs.spans"
+                # → "obs.spans"): rules match on canonical suffixes, so
+                # the package prefix is never load-bearing.
+                module = node.module or ""
+                for alias in node.names:
+                    target = f"{module}.{alias.name}" if module \
+                        else alias.name
+                    self.aliases[alias.asname or alias.name] = target
+
+    def _collect_functions(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.functions.setdefault(node.name, []).append(node)
+
+    def _collect_suppressions(self) -> None:
+        for lineno, line in enumerate(self.lines, start=1):
+            match = SUPPRESS_RE.search(line)
+            if match:
+                rules = {part.strip() for part in match.group(1).split(",")
+                         if part.strip()}
+                if rules:
+                    self.suppressions[lineno] = rules
+
+    # -- name resolution ----------------------------------------------------
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Canonical dotted name of a ``Name``/``Attribute`` chain.
+
+        ``np.random.seed`` resolves to ``numpy.random.seed`` under
+        ``import numpy as np``; chains rooted in anything other than a
+        plain name (a call result, a subscript) resolve to ``None``.
+        """
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(self.aliases.get(node.id, node.id))
+        return ".".join(reversed(parts))
+
+    def resolve_call(self, call: ast.Call) -> Optional[str]:
+        """Canonical dotted name of a call's target (or ``None``)."""
+        return self.resolve(call.func)
+
+    # -- suppressions -------------------------------------------------------
+
+    def is_suppressed(self, lineno: int, rule_id: str) -> bool:
+        """Whether ``rule_id`` is allowed at ``lineno``.
+
+        A suppression counts on the flagged line itself, or on the line
+        directly above when that line is a standalone comment.
+        """
+        rules = self.suppressions.get(lineno)
+        if rules and (rule_id in rules or "*" in rules):
+            return True
+        rules = self.suppressions.get(lineno - 1)
+        if rules and (rule_id in rules or "*" in rules):
+            above = self.lines[lineno - 2].strip() \
+                if 0 <= lineno - 2 < len(self.lines) else ""
+            return above.startswith("#")
+        return False
+
+    # -- call graph ---------------------------------------------------------
+
+    @staticmethod
+    def call_target_name(call: ast.Call) -> Optional[str]:
+        """The bare name a call targets (``f()`` → ``f``,
+        ``self.f()``/``x.f()`` → ``f``), for local-call-graph edges."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            return func.id
+        if isinstance(func, ast.Attribute):
+            return func.attr
+        return None
+
+    def reachable_functions(self, seeds: Set[str]) -> Set[str]:
+        """Bare names of local functions reachable from ``seeds``.
+
+        Edges are intra-module and name-based: a call to ``f(...)`` or
+        ``anything.f(...)`` reaches every local definition named ``f``.
+        Deliberately an over-approximation — for invariants of the form
+        "nothing reachable from ``content_key`` may read the
+        environment", false edges only make the check stricter.
+        """
+        edges: Dict[str, Set[str]] = {}
+        for name, defs in self.functions.items():
+            targets: Set[str] = set()
+            for fn in defs:
+                for node in ast.walk(fn):
+                    if isinstance(node, ast.Call):
+                        callee = self.call_target_name(node)
+                        if callee and callee in self.functions:
+                            targets.add(callee)
+            edges[name] = targets
+        reached = {seed for seed in seeds if seed in self.functions}
+        frontier = list(reached)
+        while frontier:
+            for callee in edges.get(frontier.pop(), ()):
+                if callee not in reached:
+                    reached.add(callee)
+                    frontier.append(callee)
+        return reached
+
+    def function_bodies(self, names: Set[str]) -> Iterator[ast.AST]:
+        """Every definition node for the given bare names."""
+        for name in sorted(names):
+            yield from self.functions.get(name, ())
+
+    # -- context helpers ----------------------------------------------------
+
+    def with_bound_names(self, method: str) -> List[Tuple[str, int, int]]:
+        """Names bound by ``with <expr>.<method>(...) as <name>:`` blocks.
+
+        Returns ``(name, first_line, last_line)`` triples — how the
+        transaction-discipline rule blesses ``conn`` inside a
+        ``with backend.transaction() as conn:`` body.
+        """
+        bound: List[Tuple[str, int, int]] = []
+        for node in ast.walk(self.tree):
+            if not isinstance(node, (ast.With, ast.AsyncWith)):
+                continue
+            for item in node.items:
+                expr = item.context_expr
+                if not (isinstance(expr, ast.Call)
+                        and isinstance(expr.func, ast.Attribute)
+                        and expr.func.attr == method):
+                    continue
+                if isinstance(item.optional_vars, ast.Name):
+                    bound.append((item.optional_vars.id, node.lineno,
+                                  node.end_lineno or node.lineno))
+        return bound
+
+    def matches_path(self, suffixes) -> bool:
+        """Whether this module's relative path ends with any suffix."""
+        return any(self.rel_path.endswith(suffix) for suffix in suffixes)

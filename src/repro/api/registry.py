@@ -610,6 +610,13 @@ register_design = _plugin_decorator("design", None)
 register_trace_adapter = _plugin_decorator(
     "trace_adapter", _trace_adapter_dict
 )
+#: Class decorator adding an invariant-linter rule by id (see
+#: :mod:`repro.analysis`); the built-in rules register themselves when
+#: the analysis package is imported::
+#:
+#:     @register_lint_rule("no-print-statements")
+#:     class NoPrints(LintRule): ...
+register_lint_rule = _plugin_decorator("lint_rule", None)
 
 
 def make_design(name: str, **params):

@@ -285,6 +285,26 @@ def _build_parser():
     bench.add_argument("--trend", action="store_true",
                        help="render the recorded throughput trajectory "
                             "and exit (no benchmarking)")
+
+    check = sub.add_parser(
+        "check",
+        help="invariant linter: AST-based checks for determinism, "
+             "key purity, and transaction discipline",
+    )
+    check.add_argument("paths", nargs="*", default=["src"],
+                       metavar="PATH",
+                       help="files or directories to lint (default: src)")
+    check.add_argument("--rule", action="append", default=None,
+                       metavar="RULE-ID", dest="rules",
+                       help="run only this rule (repeatable; default: "
+                            "all registered rules)")
+    check.add_argument("--format", choices=("text", "json"),
+                       default="text",
+                       help="report format (default: text)")
+    check.add_argument("--fix-suppressions", action="store_true",
+                       help="append `# repro: allow(<rule>)` to every "
+                            "flagged line instead of failing "
+                            "(grandfathers violations visibly)")
     return parser
 
 
@@ -416,6 +436,12 @@ def _cmd_list() -> int:
     print(f"extended workloads ({len(tuple(extended_workloads()))}):")
     for spec in extended_workloads():
         print(f"  {spec.name:32s} {spec.suite:8s} {spec.pattern}")
+    from .analysis import available_rules
+
+    print()
+    print("lint rules (repro check):")
+    for name, rule in sorted(available_rules().items()):
+        print(f"  {name:32s} {rule.description}")
     return 0
 
 
@@ -641,12 +667,12 @@ def _cmd_queue(args) -> int:
     from .engine.queue import JOB_STATES, JobQueue
 
     if args.queue_command == "status":
-        import pathlib
         import time as _time
 
-        if not pathlib.Path(args.queue_path).exists():
-            return _fail(f"queue {args.queue_path} not found")
+        from .engine.backend import require_sqlite_file
+
         try:
+            require_sqlite_file(args.queue_path, what="job queue")
             queue = JobQueue(args.queue_path)
         except ValueError as exc:
             return _fail(str(exc))
@@ -697,7 +723,11 @@ def _cmd_queue(args) -> int:
         return _fail(str(exc))
     try:
         requests = session.plan_experiment(spec)
-        with JobQueue(queue_path) as queue:
+        try:
+            queue = JobQueue(queue_path)
+        except ValueError as exc:
+            return _fail(str(exc))
+        with queue:
             report = queue.dispatch(
                 [(request.key(), request) for request in requests],
                 store=session.engine.store,
@@ -845,6 +875,31 @@ def _cmd_obs(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    """Run the invariant linter (exit 0 clean / 1 findings / 2 usage)."""
+    from .analysis import (
+        apply_suppressions,
+        lint_paths,
+        render_json,
+        render_text,
+    )
+
+    try:
+        run = lint_paths(args.paths, rule_ids=args.rules)
+    except (FileNotFoundError, ValueError) as exc:
+        return _fail(str(exc))
+    if args.fix_suppressions and run.findings:
+        changed = apply_suppressions(run.findings)
+        for path, count in sorted(changed.items()):
+            print(f"{path}: suppressed {count} line(s)")
+        run = lint_paths(args.paths, rule_ids=args.rules)
+    if args.format == "json":
+        print(render_json(run), end="")
+    else:
+        print(render_text(run))
+    return 1 if run.findings else 0
+
+
 def _cmd_bench(args) -> int:
     import json
     import pathlib
@@ -931,6 +986,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_obs(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "check":
+        return _cmd_check(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

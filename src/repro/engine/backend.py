@@ -61,6 +61,46 @@ def execute_with_retry(conn: sqlite3.Connection, sql: str, params=(),
             attempt += 1
 
 
+def commit_with_retry(conn: sqlite3.Connection, *,
+                      retries: int = BUSY_RETRIES) -> None:
+    """``conn.commit`` with the same bounded ``SQLITE_BUSY`` retry."""
+    attempt = 0
+    while True:
+        try:
+            conn.commit()
+            return
+        except sqlite3.OperationalError as exc:
+            if not _is_busy(exc) or attempt >= retries:
+                raise
+            time.sleep(BUSY_BACKOFF_S * (2 ** attempt))
+            attempt += 1
+
+
+def require_sqlite_file(path: PathLike, *,
+                        what: str = "SQLite database") -> pathlib.Path:
+    """Read-path guard: ``path`` must exist and be a SQLite file.
+
+    The write-path guard in :class:`SQLiteBackend` protects foreign
+    files from being overwritten; this is its read-side twin for
+    status/summary commands that must fail with one clean line — not a
+    traceback, and not by implicitly *creating* an empty database at a
+    mistyped path.  Raises :exc:`ValueError` with a one-line message.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise ValueError(f"{path} not found (expected a {what})")
+    try:
+        header = path.read_bytes()[:16]
+    except OSError as exc:
+        raise ValueError(f"{path} is unreadable: {exc}") from None
+    if not header.startswith(b"SQLite format 3"):
+        raise ValueError(
+            f"{path} is not a {what} (bad SQLite header); "
+            "pass the correct path"
+        )
+    return path
+
+
 class SQLiteBackend:
     """One SQLite database file behind a retry/guard discipline.
 
@@ -130,16 +170,7 @@ class SQLiteBackend:
         self._commit_with_retry()
 
     def _commit_with_retry(self, retries: int = BUSY_RETRIES) -> None:
-        attempt = 0
-        while True:
-            try:
-                self._conn.commit()
-                return
-            except sqlite3.OperationalError as exc:
-                if not _is_busy(exc) or attempt >= retries:
-                    raise
-                time.sleep(BUSY_BACKOFF_S * (2 ** attempt))
-                attempt += 1
+        commit_with_retry(self._conn, retries=retries)
 
     @contextmanager
     def transaction(self, immediate: bool = True) -> Iterator[sqlite3.Connection]:

@@ -28,7 +28,7 @@ import sqlite3
 import time
 from typing import Iterator, Optional, Union
 
-from .backend import SQLiteBackend, execute_with_retry
+from .backend import SQLiteBackend, commit_with_retry, execute_with_retry
 
 PathLike = Union[str, pathlib.Path]
 
@@ -86,7 +86,8 @@ class ResultStore:
         the store is a cache, never a source of truth.
         """
         try:
-            row = self._conn.execute(
+            row = execute_with_retry(
+                self._conn,
                 "SELECT payload FROM results WHERE key = ?", (key,)
             ).fetchone()
         except sqlite3.DatabaseError:
@@ -117,28 +118,19 @@ class ResultStore:
         self._commit("DELETE FROM results WHERE key = ?", (key,))
 
     def _commit(self, sql: str, params=()) -> None:
-        """Statement + commit, each under bounded SQLITE_BUSY retry."""
+        """Statement + commit through the backend's retry discipline,
+        on this store's own connection (fault tests substitute it)."""
         execute_with_retry(self._conn, sql, params)
-        attempt = 0
-        while True:
-            try:
-                self._conn.commit()
-                return
-            except sqlite3.OperationalError as exc:
-                from .backend import BUSY_BACKOFF_S, BUSY_RETRIES, _is_busy
-
-                if not _is_busy(exc) or attempt >= BUSY_RETRIES:
-                    raise
-                time.sleep(BUSY_BACKOFF_S * (2 ** attempt))
-                attempt += 1
+        commit_with_retry(self._conn)
 
     def keys(self) -> Iterator[str]:
-        for (key,) in self._conn.execute("SELECT key FROM results"):
+        for (key,) in execute_with_retry(self._conn,
+                                         "SELECT key FROM results"):
             yield key
 
     def __len__(self) -> int:
-        (count,) = self._conn.execute(
-            "SELECT COUNT(*) FROM results"
+        (count,) = execute_with_retry(
+            self._conn, "SELECT COUNT(*) FROM results"
         ).fetchone()
         return count
 
@@ -149,7 +141,7 @@ class ResultStore:
         self._commit("DELETE FROM results")
 
     def close(self) -> None:
-        self._conn.close()
+        self._backend.close()
 
     def __enter__(self) -> "ResultStore":
         return self

@@ -164,17 +164,26 @@ class RunJournal:
 
 def read_journal(path: PathLike) -> Iterator[Tuple[int, dict]]:
     """Yield ``(lineno, event)`` pairs; raises ``ValueError`` on a line
-    that is not a JSON object (truncated tail lines from a crashed
-    writer are skipped silently — only the *final* line may be cut)."""
-    with open(path, encoding="utf-8") as fh:
-        lines = fh.read().splitlines()
+    that is not a JSON object (a truncated tail line from a crashed
+    writer is skipped silently — only the *final* line may be cut, and
+    only when earlier lines prove the file ever was a journal)."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+    except UnicodeDecodeError:
+        raise ValueError(
+            f"{path} is not a JSONL journal (binary data)"
+        ) from None
     for lineno, line in enumerate(lines, start=1):
         if not line.strip():
             continue
         try:
             event = json.loads(line)
         except json.JSONDecodeError:
-            if lineno == len(lines):  # torn final write from a crash
+            # Torn final write from a crash — but a one-line file with
+            # garbage is not a journal at all, and must error rather
+            # than quietly summarize as zero events.
+            if lineno == len(lines) and lineno > 1:
                 continue
             raise ValueError(
                 f"{path}:{lineno}: not valid JSON"

@@ -1,0 +1,11 @@
+"""Fixture: connection use inside a blessed transaction block."""
+
+
+def mark_done(backend, key):
+    with backend.transaction() as conn:
+        conn.execute("UPDATE jobs SET state = 'done' WHERE key = ?",
+                     (key,))
+
+
+def count_rows(backend):
+    return backend.execute("SELECT COUNT(*) FROM jobs").fetchone()[0]

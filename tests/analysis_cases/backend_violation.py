@@ -1,0 +1,11 @@
+"""Fixture: raw sqlite access outside the backend seam."""
+
+import sqlite3
+
+
+def count_rows(path):
+    conn = sqlite3.connect(path)  # expect: backend-transaction-discipline
+    (count,) = conn.execute(  # expect: backend-transaction-discipline
+        "SELECT COUNT(*) FROM results"
+    ).fetchone()
+    return count

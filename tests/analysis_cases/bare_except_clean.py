@@ -1,0 +1,19 @@
+"""Fixture: narrow or genuinely-handled exception handlers."""
+
+
+def read_config(path):
+    try:
+        with open(path) as fh:
+            return fh.read()
+    except (OSError, UnicodeDecodeError):
+        return None
+
+
+def drain(items, log):
+    out = []
+    for item in items:
+        try:
+            out.append(int(item))
+        except Exception as exc:
+            log.append(str(exc))
+    return out

@@ -1,0 +1,19 @@
+"""Fixture: handlers that silently swallow everything."""
+
+
+def read_config(path):
+    try:
+        with open(path) as fh:
+            return fh.read()
+    except:  # expect: no-bare-except
+        pass
+
+
+def drain(items):
+    out = []
+    for item in items:
+        try:
+            out.append(int(item))
+        except Exception:  # expect: no-bare-except
+            continue
+    return out

@@ -1,0 +1,16 @@
+"""Fixture: mutable module state behind a reset/drain discipline."""
+
+_pending = {}
+
+
+def record(key, value):
+    _pending[key] = value
+
+
+def take_since(marker):
+    out = {k: v for k, v in _pending.items() if k >= marker}
+    return out
+
+
+def reset_pending():
+    _pending.clear()

@@ -1,0 +1,11 @@
+"""Fixture: ambient module-level state mutated with no drain API."""
+
+_pending = {}
+
+
+def record(key, value):
+    _pending[key] = value  # expect: fork-state-hygiene
+
+
+def lookup(key):
+    return _pending.get(key)

@@ -1,0 +1,11 @@
+"""Fixture: environment reads outside the key graph are fine."""
+
+import os
+
+
+def default_store_path():
+    return os.environ.get("REPRO_STORE", "results.sqlite")
+
+
+def canonical_recipe(spec):
+    return {"spec": spec, "seed": spec.get("seed", 0)}

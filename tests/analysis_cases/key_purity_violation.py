@@ -1,0 +1,16 @@
+"""Fixture: host state read inside the content-key call graph."""
+
+import os
+import socket
+
+
+def _env_salt():
+    return os.environ.get("SALT", "")  # expect: key-purity
+
+
+def _host():
+    return socket.gethostname()  # expect: key-purity
+
+
+def canonical_recipe(spec):
+    return {"spec": spec, "salt": _env_salt(), "host": _host()}

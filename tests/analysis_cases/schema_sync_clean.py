@@ -1,0 +1,12 @@
+"""Fixture: an explicit schema matching its factory exactly."""
+
+
+def make_widget(size, color="red"):
+    return (size, color)
+
+
+def configure(registry):
+    registry.register(
+        "widget", "basic", make_widget,
+        schema={"size": None, "color": None},
+    )

@@ -1,0 +1,16 @@
+"""Fixture: explicit schemas that disagree with their factories."""
+
+
+def make_widget(size, color="red"):
+    return (size, color)
+
+
+def configure(registry):
+    registry.register(  # expect: registry-schema-sync
+        "widget", "misspelled", make_widget,
+        schema={"size": None, "colour": None},
+    )
+    registry.register(  # expect: registry-schema-sync
+        "widget", "incomplete", make_widget,
+        schema={"color": None},
+    )

@@ -1,0 +1,19 @@
+"""Fixture: wall-clock use off the content-key path is fine."""
+
+import random
+import time
+
+
+def log_duration(start):
+    return time.time() - start
+
+
+def shuffled(items, seed):
+    rng = random.Random(seed)
+    out = list(items)
+    rng.shuffle(out)
+    return out
+
+
+def content_key(spec):
+    return f"key-{spec}"

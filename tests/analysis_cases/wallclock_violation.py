@@ -1,0 +1,17 @@
+"""Fixture: nondeterminism reachable from a content-key function."""
+
+import random
+import time
+
+
+def _stamp():
+    return time.time()  # expect: no-wallclock-nondeterminism
+
+
+def _jitter():
+    rng = random.Random()  # expect: no-wallclock-nondeterminism
+    return rng.random()
+
+
+def content_key(spec):
+    return f"{spec}-{_stamp()}-{_jitter()}"

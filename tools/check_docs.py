@@ -18,6 +18,19 @@ import sys
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 
+#: pages that must exist — deleting (or forgetting to commit) one of
+#: these fails the docs job even though the glob would silently shrink.
+REQUIRED_DOCS = (
+    "README.md",
+    "docs/architecture.md",
+    "docs/traces.md",
+    "docs/performance.md",
+    "docs/observability.md",
+    "docs/robustness.md",
+    "docs/distributed.md",
+    "docs/static-analysis.md",
+)
+
 #: [text](target) and ![alt](target), ignoring code spans.
 _LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
 _CODE_FENCE = re.compile(r"^(```|~~~)")
@@ -51,6 +64,9 @@ def check_file(path: pathlib.Path) -> list:
 def main() -> int:
     sources = [ROOT / "README.md"] + sorted((ROOT / "docs").glob("*.md"))
     failures = []
+    for required in REQUIRED_DOCS:
+        if not (ROOT / required).exists():
+            failures.append(f"missing required doc: {required}")
     checked = 0
     for source in sources:
         if not source.exists():
