@@ -121,21 +121,24 @@ def quick_run(workload: str = "ligra.BFS.0", policy: str = "athena",
     ``{"seed": 7}``); unsupported options raise :exc:`ValueError`.
     """
     from .api.registry import make_design
+    from .engine.jobs import _trace_for
     from .experiments.configs import build_hierarchy
     from .policies.registry import make_policy
-    from .workloads.suites import build_trace, find_workload
+    from .workloads.suites import find_workload
 
     cache_design = make_design(design)
     spec = find_workload(workload)
     epoch_length = max(100, length // 40)
+    # _trace_for honours the REPRO_STREAM_BLOCK execution-time gate, so
+    # one-off runs stream exactly like engine-routed requests.
     result = Simulator(
-        build_trace(spec, length),
+        _trace_for(spec, length),
         build_hierarchy(cache_design),
         policy=make_policy(policy, **(policy_options or {})),
         epoch_length=epoch_length,
     ).run()
     baseline = Simulator(
-        build_trace(spec, length),
+        _trace_for(spec, length),
         build_hierarchy(cache_design.without_mechanisms()),
         epoch_length=epoch_length,
     ).run()

@@ -75,6 +75,12 @@ TRACE_FAMILIES = (
 TRACE_LENGTH = 100_000
 TRACE_SEED = 1234
 
+#: Streaming cell: build + simulate throughput at a trace length the
+#: materialized bench path never attempts (4x its largest build; the
+#: trace never exists in memory — peak is O(STREAM_BLOCK)).
+STREAM_LENGTH = 400_000
+STREAM_BLOCK = 4_096
+
 #: Multicore phase: shared-LLC/DRAM mixes at two and four cores,
 #: uncoordinated and TLP-coordinated.
 DEFAULT_MIXES = (
@@ -193,6 +199,45 @@ def measure_trace_cell(family: str, trace_length: int, repeats: int) -> dict:
         "scalar_seconds": scalar_best,
         "scalar_ips": trace_length / scalar_best,
         "speedup_vs_scalar": scalar_best / best,
+    }
+
+
+def measure_streaming_cell(trace_length: int, block_size: int) -> dict:
+    """Time a streamed cold build and a streamed simulation.
+
+    Bypasses the trace cache (a fresh uncached stream per timing), so
+    both numbers are genuine block-at-a-time throughput: the scalar
+    emitters behind a bounded pump for the build, the block-windowed
+    ``Simulator`` loop for the run.
+    """
+    from repro.experiments.configs import CacheDesign, build_hierarchy
+    from repro.sim.simulator import Simulator
+    from repro.workloads.suites import find_workload
+
+    spec = find_workload(DEFAULT_WORKLOADS[0])
+    rows = 0
+    t0 = time.perf_counter()
+    for block in spec.stream(trace_length, block_size):
+        rows += len(block)
+    build_seconds = time.perf_counter() - t0
+    sim = Simulator(
+        spec.stream(trace_length, block_size),
+        build_hierarchy(CacheDesign.cd1()),
+        policy=None,
+        epoch_length=max(1, trace_length // 40),
+        warmup_fraction=0.2,
+    )
+    t0 = time.perf_counter()
+    sim.run()
+    sim_seconds = time.perf_counter() - t0
+    return {
+        "workload": spec.name,
+        "trace_length": rows,
+        "block_size": block_size,
+        "build_seconds": build_seconds,
+        "build_ips": rows / build_seconds,
+        "sim_seconds": sim_seconds,
+        "sim_ips": rows / sim_seconds,
     }
 
 
@@ -333,6 +378,16 @@ def run_bench(
         if regular:
             report["geomean_trace_build_speedup_regular"] = geomean(regular)
 
+        if progress is not None:
+            progress("trace-stream", f"{DEFAULT_WORKLOADS[0]}")
+        stream_length = 50_000 if quick else STREAM_LENGTH
+        streaming_cell = measure_streaming_cell(stream_length, STREAM_BLOCK)
+        streaming_cell["sim_ips_per_mop"] = (
+            streaming_cell["sim_ips"] / calibration
+        )
+        report["streaming_cell"] = streaming_cell
+        report["streaming_sim_ips"] = streaming_cell["sim_ips"]
+
     if "multicore" in phases:
         multicore_cells = []
         for mix_workloads, policy in mixes:
@@ -436,7 +491,8 @@ def history_entry(report: dict) -> dict:
     }
     for key in ("geomean_ips", "geomean_ips_per_mop",
                 "geomean_speedup_vs_reference",
-                "geomean_trace_build_speedup"):
+                "geomean_trace_build_speedup",
+                "streaming_sim_ips"):
         if key in report:
             entry[key] = report[key]
     return entry
@@ -557,6 +613,18 @@ def format_report(report: dict) -> str:
         lines.append(
             f"{'geomean build speedup':32s} {'':8s} {'':12s} {'':10s} "
             f"{report['geomean_trace_build_speedup']:>8.2f}x"
+        )
+    if "streaming_cell" in report:
+        cell = report["streaming_cell"]
+        if lines:
+            lines.append("")
+        lines.append(
+            f"{'streamed (block ' + str(cell['block_size']) + ')':32s} "
+            f"{'length':>8s} {'build ips':>12s} {'sim ips':>12s}"
+        )
+        lines.append(
+            f"{cell['workload']:32s} {cell['trace_length']:>8d} "
+            f"{cell['build_ips']:>12,.0f} {cell['sim_ips']:>12,.0f}"
         )
     if "multicore_cells" in report:
         if lines:

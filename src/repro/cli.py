@@ -216,6 +216,20 @@ def _build_parser():
         "--length", type=int, default=6_000,
         help="build length for registry workloads (default 6000; "
              "external files use their native length)")
+    trace_stream = trace_sub.add_parser(
+        "stream",
+        help="emit a trace block-at-a-time through the per-chunk cache "
+             "tier (warms REPRO_TRACE_DIR without materializing)",
+    )
+    trace_stream.add_argument(
+        "source", help="registry workload name or trace:// source"
+    )
+    trace_stream.add_argument(
+        "--length", type=int, default=100_000,
+        help="trace length in instructions (default 100000)")
+    trace_stream.add_argument(
+        "--block", type=int, default=4_096,
+        help="block size in instructions (default 4096)")
 
     obs = sub.add_parser(
         "obs", help="inspect telemetry run journals (--telemetry PATH)"
@@ -774,6 +788,32 @@ def _cmd_trace(args) -> int:
         print(f"fingerprint: {outcome.fingerprint}")
         print(f"source:      {outcome.source}")
         print(describe_trace(outcome.trace))
+        return 0
+
+    if args.trace_command == "stream":
+        from .workloads.suites import find_workload, stream_trace
+        from .workloads.tracecache import trace_cache
+
+        if args.length <= 0:
+            return _fail("--length must be positive")
+        if args.block <= 0:
+            return _fail("--block must be positive")
+        try:
+            spec = find_workload(args.source)
+        except (KeyError, TraceImportError) as exc:
+            return _fail(str(exc.args[0] if exc.args else exc))
+        stream = stream_trace(spec, args.length, args.block)
+        blocks = rows = 0
+        for block in stream:
+            blocks += 1
+            rows += len(block)
+        stats = trace_cache().stats
+        print(f"streamed: {spec.name} length={rows} "
+              f"block={args.block} blocks={blocks}")
+        # greppable warm/cold verdict (CI streaming smoke)
+        print(f"trace cache: builds={stats.builds} "
+              f"chunk_hits={stats.chunk_hits} hits={stats.hits} "
+              f"disk_hits={stats.disk_hits}")
         return 0
 
     # inspect: an external file/source, or a registry workload name

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from dataclasses import dataclass, fields
 from typing import List, Optional, Tuple, Union
 
@@ -33,7 +34,7 @@ from ..policies.registry import make_policy
 from ..sim.multicore import CoreResult, MultiCoreResult, MultiCoreSimulator
 from ..sim.simulator import SimulationResult, Simulator
 from ..sim.stats import EpochTelemetry, SimStats
-from ..workloads.suites import WorkloadSpec, build_trace
+from ..workloads.suites import WorkloadSpec, build_trace, stream_trace
 from .store import StoreDecodeError
 
 #: bump when the simulator's observable behaviour or the payload layout
@@ -77,6 +78,40 @@ def _canonical_config(config: Optional[AthenaConfig]) -> Optional[dict]:
             value = list(value)
         out[f.name] = value
     return out
+
+
+# ---------------------------------------------------------------------------
+# execution-time streaming gate
+# ---------------------------------------------------------------------------
+
+def _stream_block_size() -> Optional[int]:
+    """Block size for streamed trace execution, or ``None`` (materialize).
+
+    Read from ``REPRO_STREAM_BLOCK`` at :meth:`execute` time only — never
+    during canonicalization — so the gate can never leak into request
+    keys: streamed and materialized execution produce bit-identical
+    results and share one store entry.
+    """
+    raw = os.environ.get("REPRO_STREAM_BLOCK", "").strip()
+    if not raw:
+        return None
+    try:
+        block = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_STREAM_BLOCK must be an integer, got {raw!r}"
+        ) from None
+    return block if block > 0 else None
+
+
+def _trace_for(spec: WorkloadSpec, length: int):
+    """The trace a request executes against: a :class:`TraceStream`
+    through the per-chunk cache tier when streaming is enabled, else the
+    materialized :class:`Trace`."""
+    block = _stream_block_size()
+    if block is not None:
+        return stream_trace(spec, length, block)
+    return build_trace(spec, length)
 
 
 def _digest(payload: dict) -> str:
@@ -195,7 +230,7 @@ class RunRequest:
         """Run the simulation described by this request."""
         from ..experiments.configs import build_hierarchy
 
-        trace = build_trace(self.spec, self.trace_length)
+        trace = _trace_for(self.spec, self.trace_length)
         hierarchy = build_hierarchy(self.design)
         policy = _build_policy(self.policy_name, self.athena_config,
                                self.policy_options)
@@ -249,7 +284,7 @@ class MixRequest:
         from ..experiments.configs import build_hierarchy, system_for
 
         params = system_for(self.design)
-        traces = [build_trace(s, self.trace_length) for s in self.workloads]
+        traces = [_trace_for(s, self.trace_length) for s in self.workloads]
         design = self.design
         sim = MultiCoreSimulator(
             traces=traces,

@@ -146,7 +146,7 @@ class Cache:
         #: line_addr is a bijection, so the dict mirrors the arrays exactly
         #: and turns the per-way tag scan into one O(1) lookup.
         self._slot_of: dict = {}
-        self._slot_get = self._slot_of.get
+        self._slot_get = self._slot_of.get  # rebound in __setstate__
         #: valid lines per set; a full set skips the invalid-way scan.
         self._set_valid = bytearray(self.num_sets)
         self._replacement = make_replacement(
@@ -166,6 +166,21 @@ class Cache:
         self._evicted_scratch = EvictedLine(0, False, False, False, False)
         self.hits = 0
         self.misses = 0
+
+    # -- copy/pickle -------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        # ``_slot_get`` is a bound method of a *builtin* (``dict.get``),
+        # which copy/pickle treat as atomic: a deep-copied cache would
+        # keep consulting the ORIGINAL ``_slot_of`` while mutating its
+        # own, silently corrupting residency.  Drop it and rebind.
+        state = self.__dict__.copy()
+        del state["_slot_get"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._slot_get = self._slot_of.get
 
     # -- addressing -------------------------------------------------------
 

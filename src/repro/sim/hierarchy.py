@@ -104,6 +104,18 @@ class CacheHierarchy:
         self._l1_slot_get = self.l1d._slot_get
         self._load_result = LoadResult(0.0, False)
 
+    def __getstate__(self) -> dict:
+        # ``_l1_slot_get`` aliases the L1 cache's bound ``dict.get``,
+        # which copy/pickle treat as atomic (see ``Cache.__getstate__``);
+        # rebind it against the copied L1 instead.
+        state = self.__dict__.copy()
+        del state["_l1_slot_get"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._l1_slot_get = self.l1d._slot_get
+
     # ------------------------------------------------------------------ events
 
     def _notify(self, method: str, *args) -> None:

@@ -32,8 +32,9 @@ from __future__ import annotations
 
 import heapq
 from bisect import bisect_left
+from collections import deque
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 from typing import TYPE_CHECKING
 
@@ -41,6 +42,7 @@ import numpy as np
 
 if TYPE_CHECKING:  # avoid a sim <-> policies import cycle
     from ..policies.base import CoordinationPolicy
+from ..workloads.streaming import TraceStream
 from ..workloads.trace import (
     FLAG_BRANCH,
     FLAG_DEP,
@@ -94,6 +96,11 @@ _NEVER = 1 << 62
 
 class _CoreContext:
     """Execution state of one core inside the multi-core event loop."""
+
+    #: whether the run loop may take its inlined memory-gap fast path;
+    #: streamed contexts precompute no per-gap aggregates and always go
+    #: through the generic event path.
+    _fast = True
 
     def __init__(
         self,
@@ -269,19 +276,26 @@ class _CoreContext:
             core.step()
         stats.instructions += 1
         self.retired += 1
+        self._post_event(event_index)
+
+    def _post_event(self, event_index: int) -> None:
+        """Apply any warmup-end / epoch-boundary transition triggered by
+        the instruction just executed at ``event_index``."""
         if event_index == self._warm_idx:
             self._warm_idx = _NEVER
             # End of this core's warm-up: caches and predictors stay warm,
             # measured statistics restart (paper §6.1 methodology).  Only
             # the private caches' hit counters reset — the shared LLC is
             # still mid-warmup for other cores.
+            hierarchy = self.hierarchy
+            stats = hierarchy.stats
             self._warmed = True
-            self.measure_start_cycles = core.cycles
+            self.measure_start_cycles = self.core.cycles
             Simulator._reset_measured_stats(
                 stats, hierarchy, include_shared_caches=False
             )
             self._epoch_snapshot = stats.snapshot()
-            self._epoch_cycles = core.cycles
+            self._epoch_cycles = self.core.cycles
             self._epoch_busy = hierarchy.dram.busy_cycles
             self._epoch_kinds = hierarchy.dram.kind_counts()
         if event_index == self._next_epoch:
@@ -311,12 +325,202 @@ class _CoreContext:
         self._epoch_kinds = hierarchy.dram.kind_counts()
 
 
+class _WindowBlock:
+    """One trace block resident in a streamed context's sliding window,
+    pre-converted to the plain-scalar layout the event loop consumes."""
+
+    __slots__ = ("start", "stop", "pcs", "addrs", "flags", "mispred",
+                 "branch_prefix")
+
+    def __init__(self, start: int, pcs, addrs, flags) -> None:
+        self.start = start
+        self.stop = start + len(flags)
+        self.pcs = pcs.tolist()
+        self.addrs = addrs.tolist()
+        self.flags = flags.tolist()
+        #: block-local non-memory mispredicted-branch positions
+        self.mispred = np.flatnonzero(
+            ((flags & FLAG_MISPRED) != 0)
+            & ((flags & (FLAG_LOAD | FLAG_STORE)) == 0)
+        ).tolist()
+        #: branch_prefix[i] = branches among the first i block positions
+        self.branch_prefix = np.concatenate((
+            np.zeros(1, dtype=np.int64),
+            np.cumsum((flags & FLAG_BRANCH) != 0, dtype=np.int64),
+        )).tolist()
+
+
+class _StreamedCoreContext(_CoreContext):
+    """Core context fed block-at-a-time from a :class:`TraceStream`.
+
+    Holds a sliding window of :class:`_WindowBlock` instead of whole-trace
+    arrays: blocks are pulled lazily as the schedule needs them and
+    evicted once retired past, so peak memory is O(window), not O(trace).
+    Every instruction goes through the generic event path
+    (:meth:`execute_event` / :meth:`advance_private`), which is
+    semantically exact — results stay bit-identical to the materialized
+    contexts, just without their precomputed per-gap fast path.
+    """
+
+    _fast = False
+
+    def __init__(
+        self,
+        core_id: int,
+        trace: TraceStream,
+        hierarchy: CacheHierarchy,
+        policy: Optional["CoordinationPolicy"],
+        epoch_length: int,
+    ) -> None:
+        self.core_id = core_id
+        self.trace = trace
+        self.hierarchy = hierarchy
+        self.policy = policy
+        self.epoch_length = epoch_length
+        self.core = CoreModel(hierarchy.params.core)
+        self.retired = 0
+        self.warmup_instructions = 0
+        self.measure_start_cycles = 0.0
+        self._warmed = False
+        self._period = len(trace)
+        self._next_epoch = epoch_length - 1 if policy is not None else _NEVER
+        self._warm_idx = _NEVER  # set by MultiCoreSimulator
+        self._epoch_snapshot = hierarchy.stats.snapshot()
+        self._epoch_cycles = 0.0
+        self._epoch_busy = hierarchy.dram.busy_cycles
+        self._epoch_kinds = hierarchy.dram.kind_counts()
+        self._epoch_index = 0
+        #: blocks covering [window[0].start, _loaded_to), contiguous
+        self._window: deque = deque()
+        #: global indices >= retired of pending memory events, in order
+        self._mem_events: deque = deque()
+        self._iter = iter(trace)
+        self._replay_base = 0
+        self._loaded_to = 0
+        if policy is not None:
+            policy.attach(hierarchy)
+
+    # -- block window -------------------------------------------------------
+
+    def _load_next_block(self) -> None:
+        """Pull one more block into the window (restarting the stream at
+        the replay boundary) and index its memory events."""
+        try:
+            block = next(self._iter)
+        except StopIteration:
+            self._replay_base += self._period
+            self._iter = iter(self.trace)
+            block = next(self._iter)
+        start = self._replay_base + block.start
+        wb = _WindowBlock(start, block.pcs, block.addrs, block.flags)
+        self._window.append(wb)
+        mem = np.flatnonzero(
+            (block.flags & (FLAG_LOAD | FLAG_STORE)) != 0
+        ).tolist()
+        self._mem_events.extend(start + m for m in mem)
+        self._loaded_to = wb.stop
+
+    def _block_at(self, index: int) -> _WindowBlock:
+        """The window block containing global position ``index``, loading
+        forward and evicting fully-retired blocks as needed."""
+        while self._loaded_to <= index:
+            self._load_next_block()
+        window = self._window
+        while window[0].stop <= index:
+            window.popleft()
+        return window[0]
+
+    # -- event schedule -----------------------------------------------------
+
+    def next_event(self, limit: int) -> int:
+        cap = limit
+        if self._next_epoch < cap:
+            cap = self._next_epoch
+        if self._warm_idx < cap:
+            cap = self._warm_idx
+        events = self._mem_events
+        retired = self.retired
+        while events and events[0] < retired:
+            events.popleft()
+        while not events and self._loaded_to <= cap:
+            self._load_next_block()
+        if events and events[0] < cap:
+            return events[0]
+        return cap
+
+    def advance_private(self, start: int, stop: int) -> None:
+        if stop <= start:
+            return
+        stats = self.hierarchy.stats
+        core = self.core
+        run_simple = core.run_simple
+        step = core.step
+        g = start
+        while g < stop:
+            blk = self._block_at(g)
+            i = g - blk.start
+            j = min(blk.stop, stop) - blk.start
+            prefix = blk.branch_prefix
+            stats.branches += prefix[j] - prefix[i]
+            mispreds = blk.mispred
+            pos = i
+            for m in mispreds[bisect_left(mispreds, i):
+                              bisect_left(mispreds, j)]:
+                if m > pos:
+                    run_simple(m - pos)
+                step(1.0, False, False, True)
+                stats.mispredicted_branches += 1
+                pos = m + 1
+            if j > pos:
+                run_simple(j - pos)
+            g = blk.start + j
+        stats.instructions += stop - start
+        self.retired = stop
+
+    def execute_event(self) -> None:
+        event_index = self.retired
+        blk = self._block_at(event_index)
+        i = event_index - blk.start
+        f = blk.flags[i]
+        hierarchy = self.hierarchy
+        core = self.core
+        stats = hierarchy.stats
+        if f & FLAG_LOAD:
+            issue = core.begin((f & FLAG_DEP) != 0)
+            result = hierarchy.load(blk.pcs[i], blk.addrs[i], issue)
+            core.finish(result.latency, True)
+            stats.loads += 1
+            self._pop_mem_event(event_index)
+        elif f & FLAG_STORE:
+            issue = core.begin()
+            latency = hierarchy.store(blk.pcs[i], blk.addrs[i], issue)
+            core.finish(latency)
+            stats.stores += 1
+            self._pop_mem_event(event_index)
+        elif f & FLAG_BRANCH:
+            mispred = bool(f & FLAG_MISPRED)
+            core.step(1.0, False, False, mispred)
+            stats.branches += 1
+            if mispred:
+                stats.mispredicted_branches += 1
+        else:
+            core.step()
+        stats.instructions += 1
+        self.retired += 1
+        self._post_event(event_index)
+
+    def _pop_mem_event(self, event_index: int) -> None:
+        events = self._mem_events
+        if events and events[0] == event_index:
+            events.popleft()
+
+
 class MultiCoreSimulator:
     """Run N workloads on N cores with shared LLC + DRAM."""
 
     def __init__(
         self,
-        traces: Sequence[Trace],
+        traces: Sequence[Union[Trace, TraceStream]],
         params: SystemParams,
         hierarchy_factory,
         policy_factory,
@@ -341,7 +545,11 @@ class MultiCoreSimulator:
             hierarchy = hierarchy_factory(
                 params, self.shared_llc, self.shared_dram
             )
-            context = _CoreContext(
+            context_cls = (
+                _StreamedCoreContext if isinstance(trace, TraceStream)
+                else _CoreContext
+            )
+            context = context_cls(
                 core_id=core_id,
                 trace=trace,
                 hierarchy=hierarchy,
@@ -378,8 +586,8 @@ class MultiCoreSimulator:
             while True:
                 ctx = contexts[key[1]]
                 r = ctx.retired
-                if r == ctx._mem_next and r < ctx._next_epoch \
-                        and r < ctx._warm_idx:
+                if ctx._fast and r == ctx._mem_next \
+                        and r < ctx._next_epoch and r < ctx._warm_idx:
                     # Fast path: a memory access away from any transition
                     # boundary, followed by its precomputed private gap.
                     core = ctx.core

@@ -20,14 +20,16 @@ as the one-instruction-at-a-time loop they replace.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field, fields
-from typing import TYPE_CHECKING, List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple, Union
 
 import numpy as np
 
 if TYPE_CHECKING:  # imported lazily to avoid a sim <-> policies cycle
     from ..policies.base import CoordinationAction, CoordinationPolicy
 
+from ..workloads.streaming import TraceStream
 from ..workloads.trace import (
     FLAG_BRANCH,
     FLAG_DEP,
@@ -69,12 +71,34 @@ class SimulationResult:
         return {k: v / total for k, v in counts.items()}
 
 
+@dataclass
+class SimCheckpoint:
+    """A re-enterable snapshot of a streamed run at one trace position.
+
+    Captured by ``Simulator.run(checkpoint_at=...)`` after the
+    instruction at ``position - 1`` retired (and any warmup/epoch
+    transition at that point fired); :meth:`Simulator.resume` re-enters
+    the run from here against a fresh block stream, so a long trace's
+    measured region is reachable without replaying the prefix trace
+    *simulation* (the stream itself seeks via the per-chunk disk tier).
+    ``state`` is one deep-copied object graph — hierarchy, core, policy
+    and loop counters together — so every shared reference inside it
+    (``stats`` *is* ``hierarchy.stats``; the policy is attached to the
+    hierarchy) survives intact.
+    """
+
+    position: int
+    epoch_length: int
+    warmup_fraction: float
+    state: dict
+
+
 class Simulator:
     """Runs one workload on one core."""
 
     def __init__(
         self,
-        trace: Trace,
+        trace: Union[Trace, TraceStream],
         hierarchy: CacheHierarchy,
         policy: Optional["CoordinationPolicy"] = None,
         epoch_length: int = 250,
@@ -90,10 +114,16 @@ class Simulator:
         self.epoch_length = epoch_length
         self.warmup_fraction = warmup_fraction
         self.core = CoreModel(hierarchy.params.core)
+        #: set by a streamed run when ``checkpoint_at`` is reached
+        self.checkpoint: Optional[SimCheckpoint] = None
         if policy is not None:
             policy.attach(hierarchy)
 
-    def run(self) -> SimulationResult:
+    def run(self, checkpoint_at: Optional[int] = None) -> SimulationResult:
+        if isinstance(self.trace, TraceStream):
+            return self._run_streamed(checkpoint_at)
+        if checkpoint_at is not None:
+            raise ValueError("checkpoint_at requires a streamed trace")
         trace = self.trace
         hierarchy = self.hierarchy
         core = self.core
@@ -283,6 +313,283 @@ class Simulator:
         stats.cycles = measured_cycles
         return SimulationResult(
             workload=trace.name,
+            stats=stats,
+            instructions=stats.instructions,
+            cycles=measured_cycles,
+            epochs=epochs,
+            actions=actions,
+        )
+
+    # ------------------------------------------------------------ streamed run
+
+    def _run_streamed(
+        self, checkpoint_at: Optional[int] = None
+    ) -> SimulationResult:
+        """Block-at-a-time variant of :meth:`run`.
+
+        Identical loop body, applied per block with a local index: the
+        materialized loop's chunk seams (slow positions, epoch
+        boundaries, warmup end) all express their limits as offsets from
+        the running instruction counter, so adding block edges as extra
+        chunk breaks changes nothing — ``run_simple(k1); run_simple(k2)``
+        is bit-identical to ``run_simple(k1 + k2)``.
+        """
+        if checkpoint_at is not None and \
+                not 0 < checkpoint_at <= len(self.trace):
+            raise ValueError("checkpoint_at must be in (0, len(trace)]")
+        stats = self.hierarchy.stats
+        dram = self.hierarchy.dram
+        count = stats.instructions
+        state = {
+            "count": count,
+            "next_epoch": count - count % self.epoch_length
+            + self.epoch_length,
+            "epoch_index": 0,
+            "epochs": [],
+            "actions": [],
+            "warmup_stats_reset_done":
+                int(len(self.trace) * self.warmup_fraction) == 0,
+            "measure_start_cycles": 0.0,
+            "epoch_start_snapshot": stats.snapshot(),
+            "epoch_start_cycles": 0.0,
+            "epoch_start_busy": dram.busy_cycles,
+            "epoch_start_kinds": dram.kind_counts(),
+        }
+        return self._stream_loop(iter(self.trace), state, checkpoint_at)
+
+    @classmethod
+    def resume(
+        cls, stream: TraceStream, checkpoint: SimCheckpoint
+    ) -> SimulationResult:
+        """Finish a streamed run from a :class:`SimCheckpoint`.
+
+        The checkpoint's state graph is deep-copied again, so the same
+        checkpoint can be resumed repeatedly (each resume gets private
+        mutable state).  The stream only needs to cover positions from
+        ``checkpoint.position`` on — with a seekable stream (the
+        per-chunk disk tier) the prefix is never even read.
+        """
+        state = copy.deepcopy(checkpoint.state)
+        sim = cls.__new__(cls)
+        sim.trace = stream
+        sim.hierarchy = state.pop("hierarchy")
+        sim.policy = state.pop("policy")
+        sim.core = state.pop("core")
+        sim.epoch_length = checkpoint.epoch_length
+        sim.warmup_fraction = checkpoint.warmup_fraction
+        sim.checkpoint = None
+        return sim._stream_loop(
+            stream.iter_from(checkpoint.position), state, None
+        )
+
+    def _stream_loop(
+        self,
+        blocks,
+        st: dict,
+        checkpoint_at: Optional[int],
+    ) -> SimulationResult:
+        stream = self.trace
+        hierarchy = self.hierarchy
+        core = self.core
+        stats = hierarchy.stats
+        policy = self.policy
+        epoch_len = self.epoch_length
+        dram = hierarchy.dram
+
+        n = len(stream)
+        warmup_end = int(n * self.warmup_fraction)
+
+        epochs: List[EpochTelemetry] = st["epochs"]
+        actions: List["CoordinationAction"] = st["actions"]
+        epoch_index = st["epoch_index"]
+        epoch_start_snapshot = st["epoch_start_snapshot"]
+        epoch_start_cycles = st["epoch_start_cycles"]
+        epoch_start_busy = st["epoch_start_busy"]
+        epoch_start_kinds = st["epoch_start_kinds"]
+        warmup_stats_reset_done = st["warmup_stats_reset_done"]
+        measure_start_cycles = st["measure_start_cycles"]
+        count = st["count"]
+        next_epoch = st["next_epoch"]
+        have_policy = policy is not None
+        captured = checkpoint_at is None
+
+        hier_load = hierarchy.load
+        hier_store = hierarchy.store
+        core_step = core.step
+        run_simple = core.run_simple
+        ring = core._commit_ring
+        rob = core._rob
+        inv_width = core._inv_width
+
+        for block in blocks:
+            base = block.start
+            flags_np = block.flags
+            pcs = block.pcs.tolist()
+            addrs = block.addrs.tolist()
+            flags = flags_np.tolist()
+            bn = len(flags)
+            slow_indices = np.flatnonzero(
+                (flags_np & (FLAG_LOAD | FLAG_STORE | FLAG_MISPRED)) != 0
+            ).tolist()
+            slow_indices.append(bn)
+            branch_prefix = np.concatenate((
+                np.zeros(1, dtype=np.int64),
+                np.cumsum((flags_np & FLAG_BRANCH) != 0, dtype=np.int64),
+            )).tolist()
+            slow_pos = 0
+            il = 0
+            while il < bn:
+                next_slow = slow_indices[slow_pos]
+                if next_slow > il:
+                    limit = next_slow
+                    if have_policy:
+                        boundary = il + next_epoch - count
+                        if boundary < limit:
+                            limit = boundary
+                    if not warmup_stats_reset_done:
+                        boundary = il + warmup_end - count
+                        if boundary < limit:
+                            limit = boundary
+                    if not captured:
+                        boundary = checkpoint_at - base
+                        if boundary < limit:
+                            limit = boundary
+                    k = limit - il
+                    if k == 1:
+                        idx = core._index
+                        pos = idx % rob
+                        slot_time = ring[pos]
+                        dispatch = core._next_dispatch
+                        if slot_time > dispatch:
+                            dispatch = slot_time
+                        ready = dispatch + 1.0
+                        commit = core._last_commit + inv_width
+                        if ready > commit:
+                            commit = ready
+                        ring[pos] = commit
+                        core._index = idx + 1
+                        core._last_commit = commit
+                        core._next_dispatch = core._next_dispatch + inv_width
+                    else:
+                        run_simple(k)
+                    stats.branches += branch_prefix[limit] \
+                        - branch_prefix[il]
+                    count += k
+                    il = limit
+                else:
+                    f = flags[il]
+                    if f & FLAG_LOAD:
+                        idx = core._index
+                        slot_time = ring[idx % rob]
+                        dispatch = core._next_dispatch
+                        if slot_time > dispatch:
+                            dispatch = slot_time
+                        if f & FLAG_DEP:
+                            load_ready = core._last_load_ready
+                            if load_ready > dispatch:
+                                dispatch = load_ready
+                        result = hier_load(pcs[il], addrs[il], dispatch)
+                        ready = dispatch + result.latency
+                        commit = core._last_commit + inv_width
+                        if ready > commit:
+                            commit = ready
+                        ring[idx % rob] = commit
+                        core._index = idx + 1
+                        core._last_commit = commit
+                        core._next_dispatch = core._next_dispatch + inv_width
+                        core._last_load_ready = ready
+                        stats.loads += 1
+                    elif f & FLAG_STORE:
+                        idx = core._index
+                        slot_time = ring[idx % rob]
+                        dispatch = core._next_dispatch
+                        if slot_time > dispatch:
+                            dispatch = slot_time
+                        latency = hier_store(pcs[il], addrs[il], dispatch)
+                        ready = dispatch + latency
+                        commit = core._last_commit + inv_width
+                        if ready > commit:
+                            commit = ready
+                        ring[idx % rob] = commit
+                        core._index = idx + 1
+                        core._last_commit = commit
+                        core._next_dispatch = core._next_dispatch + inv_width
+                        stats.stores += 1
+                    elif f & FLAG_BRANCH:
+                        mispred = bool(f & FLAG_MISPRED)
+                        core_step(1.0, False, False, mispred)
+                        stats.branches += 1
+                        if mispred:
+                            stats.mispredicted_branches += 1
+                    else:
+                        core_step()
+                    count += 1
+                    il += 1
+                    slow_pos += 1
+
+                if not warmup_stats_reset_done and count >= warmup_end:
+                    measure_start_cycles = core.cycles
+                    self._reset_measured_stats(stats, hierarchy)
+                    warmup_stats_reset_done = True
+                    count = stats.instructions
+                    next_epoch = 0
+                    epoch_start_snapshot = stats.snapshot()
+                    epoch_start_cycles = core.cycles
+                    epoch_start_busy = dram.busy_cycles
+                    epoch_start_kinds = dram.kind_counts()
+
+                if have_policy and count == next_epoch:
+                    stats.instructions = count
+                    telemetry = self._build_telemetry(
+                        epoch_index,
+                        stats,
+                        epoch_start_snapshot,
+                        core.cycles - epoch_start_cycles,
+                        dram.busy_cycles - epoch_start_busy,
+                        epoch_start_kinds,
+                    )
+                    action = policy.decide(telemetry)
+                    self._apply_action(action)
+                    epochs.append(telemetry)
+                    actions.append(action)
+                    epoch_index += 1
+                    next_epoch += epoch_len
+                    epoch_start_snapshot = stats.snapshot()
+                    epoch_start_cycles = core.cycles
+                    epoch_start_busy = dram.busy_cycles
+                    epoch_start_kinds = dram.kind_counts()
+
+                if not captured and base + il == checkpoint_at:
+                    captured = True
+                    stats.instructions = count
+                    self.checkpoint = SimCheckpoint(
+                        position=checkpoint_at,
+                        epoch_length=epoch_len,
+                        warmup_fraction=self.warmup_fraction,
+                        state=copy.deepcopy({
+                            "hierarchy": hierarchy,
+                            "core": core,
+                            "policy": policy,
+                            "count": count,
+                            "next_epoch": next_epoch,
+                            "epoch_index": epoch_index,
+                            "epochs": epochs,
+                            "actions": actions,
+                            "warmup_stats_reset_done":
+                                warmup_stats_reset_done,
+                            "measure_start_cycles": measure_start_cycles,
+                            "epoch_start_snapshot": epoch_start_snapshot,
+                            "epoch_start_cycles": epoch_start_cycles,
+                            "epoch_start_busy": epoch_start_busy,
+                            "epoch_start_kinds": epoch_start_kinds,
+                        }),
+                    )
+
+        stats.instructions = count
+        measured_cycles = core.cycles - measure_start_cycles
+        stats.cycles = measured_cycles
+        return SimulationResult(
+            workload=stream.name,
             stats=stats,
             instructions=stats.instructions,
             cycles=measured_cycles,

@@ -42,6 +42,7 @@ from typing import Callable, Dict
 import numpy as np
 
 from .rng import BulkRandom
+from .streaming import TraceStream, pump_blocks
 from .trace import (
     FLAG_BRANCH,
     FLAG_DEP,
@@ -1393,6 +1394,35 @@ def emit_producer_consumer(builder, rng, instructions, base_line, pc_block,
 
 PatternFn = Callable[[TraceBuilder, random.Random, int, dict], None]
 
+#: public emitter -> scalar reference implementation.  The streaming
+#: producer calls the scalar loops directly (rather than toggling the
+#: module-global ``_use_scalar``, which is not thread-safe against the
+#: pump's producer thread); both are byte-identical by the PR 3
+#: invariant, so streamed output matches the vectorized materialized
+#: path bit for bit.
+_SCALAR_IMPLS: Dict[Callable, Callable] = {}
+
+
+def _compose_into(builder, seed, length, phases, scalar=False) -> None:
+    """Run each (weight, emit_fn, kwargs) phase for its share of
+    ``length`` into ``builder`` (a ``TraceBuilder`` or a streaming
+    :class:`~repro.workloads.streaming.BlockAssembler`)."""
+    rng = random.Random(seed)
+    total_weight = sum(weight for weight, _, _ in phases)
+    for weight, emit, kwargs in phases:
+        budget = int(length * weight / total_weight)
+        if budget > 0:
+            impl = _SCALAR_IMPLS[emit] if scalar else emit
+            impl(builder, rng, budget, **kwargs)
+    # Emitters may land a few instructions off their budget (a burst or a
+    # store straddling the boundary); deliver the exact requested length.
+    if len(builder) < length:
+        pad = length - len(builder)
+        if scalar:
+            _filler(builder, rng, pad, pc_block=0, mispredict_rate=0.0)
+        else:
+            _emit_filler(builder, rng, pad, pc_block=0, mispredict_rate=0.0)
+
 
 def _compose(
     name: str,
@@ -1401,101 +1431,83 @@ def _compose(
     length: int,
     phases,
 ) -> Trace:
-    """Run each (weight, emit_fn, kwargs) phase for its share of ``length``."""
-    rng = random.Random(seed)
+    """Materialize one workload trace from its phase plan."""
     builder = TraceBuilder(name, suite)
-    total_weight = sum(weight for weight, _, _ in phases)
-    for weight, emit, kwargs in phases:
-        budget = int(length * weight / total_weight)
-        if budget > 0:
-            emit(builder, rng, budget, **kwargs)
-    # Emitters may land a few instructions off their budget (a burst or a
-    # store straddling the boundary); deliver the exact requested length.
-    if len(builder) < length:
-        _emit_filler(builder, rng, length - len(builder), pc_block=0,
-                     mispredict_rate=0.0)
+    _compose_into(builder, seed, length, phases)
     trace = builder.build(metadata={"seed": seed, "length": length})
     if len(trace) > length:
         trace = trace.slice(0, length)
     return trace
 
 
-def make_streaming_workload(name, suite, seed, length, stride=1) -> Trace:
-    return _compose(name, suite, seed, length, [
+# Phase plans: the (weight, emitter, kwargs) list for one workload as a
+# pure function of (seed, family params) — shared by the materialized
+# composer and the streaming producer so both walk the identical plan.
+
+def _plan_streaming(seed, stride=1):
+    return [
         (1.0, emit_stream,
          dict(base_line=seed % 1000 << 12, pc_block=1, stride=stride,
               store_every=8)),
-    ])
+    ]
 
 
-def make_stencil_workload(name, suite, seed, length) -> Trace:
-    return _compose(name, suite, seed, length, [
+def _plan_stencil(seed):
+    return [
         (1.0, emit_stencil, dict(base_line=(seed % 997) << 13, pc_block=2)),
-    ])
+    ]
 
 
-def make_pointer_chase_workload(name, suite, seed, length,
-                                working_set_lines=1 << 14,
-                                decoy_rate=0.3) -> Trace:
-    return _compose(name, suite, seed, length, [
+def _plan_pointer_chase(seed, working_set_lines=1 << 14, decoy_rate=0.3):
+    return [
         (1.0, emit_pointer_chase,
          dict(base_line=(seed % 991) << 14, pc_block=3,
               working_set_lines=working_set_lines,
               decoy_rate=decoy_rate)),
-    ])
+    ]
 
 
-def make_hash_probe_workload(name, suite, seed, length,
-                             working_set_lines=1 << 14,
-                             decoy_rate=0.25) -> Trace:
-    return _compose(name, suite, seed, length, [
+def _plan_hash_probe(seed, working_set_lines=1 << 14, decoy_rate=0.25):
+    return [
         (1.0, emit_hash_probe,
          dict(base_line=(seed % 983) << 14, pc_block=4,
               working_set_lines=working_set_lines,
               decoy_rate=decoy_rate)),
-    ])
+    ]
 
 
-def make_graph_workload(name, suite, seed, length,
-                        num_vertices_lines=1 << 14,
-                        neighbors_per_vertex=4) -> Trace:
-    return _compose(name, suite, seed, length, [
+def _plan_graph(seed, num_vertices_lines=1 << 14, neighbors_per_vertex=4):
+    return [
         (1.0, emit_graph_walk,
          dict(base_line=(seed % 977) << 14, pc_block=5,
               num_vertices_lines=num_vertices_lines,
               neighbors_per_vertex=neighbors_per_vertex)),
-    ])
+    ]
 
 
-def make_gups_workload(name, suite, seed, length,
-                       working_set_lines=1 << 14) -> Trace:
-    return _compose(name, suite, seed, length, [
+def _plan_gups(seed, working_set_lines=1 << 14):
+    return [
         (1.0, emit_gups,
          dict(base_line=(seed % 971) << 14, pc_block=6,
               working_set_lines=working_set_lines)),
-    ])
+    ]
 
 
-def make_compute_workload(name, suite, seed, length,
-                          memory_ratio=0.12,
-                          streaming_fraction=0.5,
-                          mispredict_rate=0.04,
-                          working_set_lines=2048) -> Trace:
-    return _compose(name, suite, seed, length, [
+def _plan_compute(seed, memory_ratio=0.12, streaming_fraction=0.5,
+                  mispredict_rate=0.04, working_set_lines=2048):
+    return [
         (1.0, emit_compute,
          dict(base_line=(seed % 967) << 13, pc_block=7,
               memory_ratio=memory_ratio,
               streaming_fraction=streaming_fraction,
               mispredict_rate=mispredict_rate,
               working_set_lines=working_set_lines)),
-    ])
+    ]
 
 
-def make_phased_workload(name, suite, seed, length,
-                         working_set_lines=1 << 14) -> Trace:
-    """Alternating friendly/adverse phases (gcc/astar-like)."""
+def _plan_phased(seed, working_set_lines=1 << 14):
     base = (seed % 953) << 14
-    return _compose(name, suite, seed, length, [
+    return [
         (0.35, emit_stream, dict(base_line=base, pc_block=1, store_every=16)),
         (0.2, emit_hash_probe,
          dict(base_line=base + (1 << 21), pc_block=4,
@@ -1505,15 +1517,13 @@ def make_phased_workload(name, suite, seed, length,
         (0.15, emit_pointer_chase,
          dict(base_line=base + (1 << 23), pc_block=3,
               working_set_lines=working_set_lines)),
-    ])
+    ]
 
 
-def make_datacenter_workload(name, suite, seed, length,
-                             irregular_fraction=0.6) -> Trace:
-    """Google/DPC4-like: bursty irregular traffic + moderate streaming."""
+def _plan_datacenter(seed, irregular_fraction=0.6):
     base = (seed % 947) << 14
     regular = max(0.05, 1.0 - irregular_fraction)
-    return _compose(name, suite, seed, length, [
+    return [
         (irregular_fraction * 0.6, emit_hash_probe,
          dict(base_line=base, pc_block=4, working_set_lines=1 << 15,
               locality=0.25)),
@@ -1524,20 +1534,10 @@ def make_datacenter_workload(name, suite, seed, length,
          dict(base_line=base + (1 << 23), pc_block=1, gap=4)),
         (regular * 0.5, emit_compute,
          dict(base_line=base + (1 << 24), pc_block=7, memory_ratio=0.10)),
-    ])
+    ]
 
 
-def make_phase_shift_workload(name, suite, seed, length,
-                              working_set_lines=1 << 14,
-                              phases=5) -> Trace:
-    """Phase-shifting composite: friendly/adverse alternation with a
-    drifting blend (later phases run longer and stride differently).
-
-    Where :func:`make_phased_workload` pins four fixed phases, this
-    family sweeps the friendly/adverse balance across ``phases``
-    segments — the regime a per-epoch coordination policy must track
-    without oscillating.
-    """
+def _plan_phase_shift(seed, working_set_lines=1 << 14, phases=5):
     base = (seed % 937) << 14
     plan = []
     for p in range(phases):
@@ -1555,18 +1555,112 @@ def make_phase_shift_workload(name, suite, seed, length,
             plan.append((weight, emit_pointer_chase,
                          dict(base_line=region, pc_block=3,
                               working_set_lines=working_set_lines)))
-    return _compose(name, suite, seed, length, plan)
+    return plan
+
+
+def _plan_strided_drift(seed, base_stride=1, stride_span=4, drift_every=64):
+    return [
+        (1.0, emit_strided_drift,
+         dict(base_line=(seed % 929) << 13, pc_block=10,
+              base_stride=base_stride, stride_span=stride_span,
+              drift_every=drift_every)),
+    ]
+
+
+def _plan_producer_consumer(seed, ring_lines=1 << 12, lag=8, sync_every=16,
+                            region_seed=None):
+    base_seed = seed if region_seed is None else region_seed
+    return [
+        (1.0, emit_producer_consumer,
+         dict(base_line=(base_seed % 919) << 13, pc_block=11,
+              ring_lines=ring_lines, lag=lag, sync_every=sync_every)),
+    ]
+
+
+def make_streaming_workload(name, suite, seed, length, stride=1) -> Trace:
+    return _compose(name, suite, seed, length,
+                    _plan_streaming(seed, stride=stride))
+
+
+def make_stencil_workload(name, suite, seed, length) -> Trace:
+    return _compose(name, suite, seed, length, _plan_stencil(seed))
+
+
+def make_pointer_chase_workload(name, suite, seed, length,
+                                working_set_lines=1 << 14,
+                                decoy_rate=0.3) -> Trace:
+    return _compose(name, suite, seed, length, _plan_pointer_chase(
+        seed, working_set_lines=working_set_lines, decoy_rate=decoy_rate))
+
+
+def make_hash_probe_workload(name, suite, seed, length,
+                             working_set_lines=1 << 14,
+                             decoy_rate=0.25) -> Trace:
+    return _compose(name, suite, seed, length, _plan_hash_probe(
+        seed, working_set_lines=working_set_lines, decoy_rate=decoy_rate))
+
+
+def make_graph_workload(name, suite, seed, length,
+                        num_vertices_lines=1 << 14,
+                        neighbors_per_vertex=4) -> Trace:
+    return _compose(name, suite, seed, length, _plan_graph(
+        seed, num_vertices_lines=num_vertices_lines,
+        neighbors_per_vertex=neighbors_per_vertex))
+
+
+def make_gups_workload(name, suite, seed, length,
+                       working_set_lines=1 << 14) -> Trace:
+    return _compose(name, suite, seed, length,
+                    _plan_gups(seed, working_set_lines=working_set_lines))
+
+
+def make_compute_workload(name, suite, seed, length,
+                          memory_ratio=0.12,
+                          streaming_fraction=0.5,
+                          mispredict_rate=0.04,
+                          working_set_lines=2048) -> Trace:
+    return _compose(name, suite, seed, length, _plan_compute(
+        seed, memory_ratio=memory_ratio,
+        streaming_fraction=streaming_fraction,
+        mispredict_rate=mispredict_rate,
+        working_set_lines=working_set_lines))
+
+
+def make_phased_workload(name, suite, seed, length,
+                         working_set_lines=1 << 14) -> Trace:
+    """Alternating friendly/adverse phases (gcc/astar-like)."""
+    return _compose(name, suite, seed, length,
+                    _plan_phased(seed, working_set_lines=working_set_lines))
+
+
+def make_datacenter_workload(name, suite, seed, length,
+                             irregular_fraction=0.6) -> Trace:
+    """Google/DPC4-like: bursty irregular traffic + moderate streaming."""
+    return _compose(name, suite, seed, length, _plan_datacenter(
+        seed, irregular_fraction=irregular_fraction))
+
+
+def make_phase_shift_workload(name, suite, seed, length,
+                              working_set_lines=1 << 14,
+                              phases=5) -> Trace:
+    """Phase-shifting composite: friendly/adverse alternation with a
+    drifting blend (later phases run longer and stride differently).
+
+    Where :func:`make_phased_workload` pins four fixed phases, this
+    family sweeps the friendly/adverse balance across ``phases``
+    segments — the regime a per-epoch coordination policy must track
+    without oscillating.
+    """
+    return _compose(name, suite, seed, length, _plan_phase_shift(
+        seed, working_set_lines=working_set_lines, phases=phases))
 
 
 def make_strided_drift_workload(name, suite, seed, length,
                                 base_stride=1, stride_span=4,
                                 drift_every=64) -> Trace:
-    return _compose(name, suite, seed, length, [
-        (1.0, emit_strided_drift,
-         dict(base_line=(seed % 929) << 13, pc_block=10,
-              base_stride=base_stride, stride_span=stride_span,
-              drift_every=drift_every)),
-    ])
+    return _compose(name, suite, seed, length, _plan_strided_drift(
+        seed, base_stride=base_stride, stride_span=stride_span,
+        drift_every=drift_every))
 
 
 def make_producer_consumer_workload(name, suite, seed, length,
@@ -1576,12 +1670,9 @@ def make_producer_consumer_workload(name, suite, seed, length,
     """Producer-consumer ring traffic; ``region_seed`` pins the ring's
     address region so several mix members can share the same lines
     (pass one value to every core of a sharing mix)."""
-    base_seed = seed if region_seed is None else region_seed
-    return _compose(name, suite, seed, length, [
-        (1.0, emit_producer_consumer,
-         dict(base_line=(base_seed % 919) << 13, pc_block=11,
-              ring_lines=ring_lines, lag=lag, sync_every=sync_every)),
-    ])
+    return _compose(name, suite, seed, length, _plan_producer_consumer(
+        seed, ring_lines=ring_lines, lag=lag, sync_every=sync_every,
+        region_seed=region_seed))
 
 
 #: generator registry keyed by pattern family name (used by the suites).
@@ -1599,3 +1690,69 @@ GENERATORS: Dict[str, Callable[..., Trace]] = {
     "strided_drift": make_strided_drift_workload,
     "producer_consumer": make_producer_consumer_workload,
 }
+
+#: phase-plan registry, parallel to :data:`GENERATORS` (same keys); the
+#: plan is the workload recipe minus the execution strategy, which is
+#: what the streaming path needs.
+WORKLOAD_PLANS: Dict[str, Callable[..., list]] = {
+    "streaming": _plan_streaming,
+    "stencil": _plan_stencil,
+    "pointer_chase": _plan_pointer_chase,
+    "hash_probe": _plan_hash_probe,
+    "graph": _plan_graph,
+    "gups": _plan_gups,
+    "compute": _plan_compute,
+    "phased": _plan_phased,
+    "datacenter": _plan_datacenter,
+    "phase_shift": _plan_phase_shift,
+    "strided_drift": _plan_strided_drift,
+    "producer_consumer": _plan_producer_consumer,
+}
+
+_SCALAR_IMPLS.update({
+    emit_stream: _scalar_emit_stream,
+    emit_stencil: _scalar_emit_stencil,
+    emit_pointer_chase: _scalar_emit_pointer_chase,
+    emit_hash_probe: _scalar_emit_hash_probe,
+    emit_graph_walk: _scalar_emit_graph_walk,
+    emit_gups: _scalar_emit_gups,
+    emit_compute: _scalar_emit_compute,
+    emit_strided_drift: _scalar_emit_strided_drift,
+    emit_producer_consumer: _scalar_emit_producer_consumer,
+})
+
+
+def stream_workload(
+    pattern, name, suite, seed, length, block_size, **params
+) -> "TraceStream":
+    """Emit one workload as a :class:`~repro.workloads.streaming.TraceStream`.
+
+    The producer thread runs the scalar reference emitters with their
+    full phase budgets (identical RNG consumption to the materialized
+    path — per-block budgets would clamp the filler differently), so
+    every block is a byte-exact window of the materialized trace.  Extra
+    keyword arguments are the family's usual parameters.
+    """
+    plan = WORKLOAD_PLANS[pattern](seed, **params)
+
+    def producer(assembler) -> None:
+        _compose_into(assembler, seed, length, plan, scalar=True)
+
+    def on_complete(total: int) -> None:
+        if total > length:
+            # mirror the materialized path's truncation rename
+            stream.name = f"{name}[0:{length}]"
+
+    def factory():
+        return pump_blocks(producer, block_size, length,
+                           on_complete=on_complete)
+
+    stream = TraceStream(
+        name=name,
+        suite=suite,
+        length=length,
+        block_size=block_size,
+        factory=factory,
+        metadata={"seed": seed, "length": length},
+    )
+    return stream

@@ -37,10 +37,11 @@ import hashlib
 import pathlib
 import urllib.parse
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple, Type, Union
+from typing import Dict, Iterator, Optional, Tuple, Type, Union
 
 import numpy as np
 
+from .streaming import TraceBlock, TraceStream, reblock
 from .suites import WorkloadSpec
 from .trace import (
     FLAG_BRANCH,
@@ -168,43 +169,49 @@ class MemtraceAdapter:
         """Instruction count without parsing fields (one line each)."""
         return sum(1 for _ in self._lines(pathlib.Path(path)))
 
+    def _parse_line(self, path: pathlib.Path, lineno: int,
+                    line: str) -> Tuple[int, int, int]:
+        """Parse one non-blank line into a ``(pc, addr, flags)`` row."""
+        delimiter = self.delimiter or ("," if "," in line else None)
+        fields = [f.strip() for f in line.split(delimiter)]
+        fields = [f for f in fields if f]
+        if not 2 <= len(fields) <= 3:
+            raise TraceImportError(
+                f"{path}:{lineno}: expected PC,OP[,ADDR], got "
+                f"{len(fields)} field(s) in {line!r}"
+            )
+        op = fields[1].upper()
+        if op not in _MEMTRACE_OPS:
+            raise TraceImportError(
+                f"{path}:{lineno}: unknown op {fields[1]!r}; valid: "
+                f"{'/'.join(sorted(_MEMTRACE_OPS))}"
+            )
+        try:
+            pc = _parse_int(fields[0])
+            addr = _parse_int(fields[2]) if len(fields) == 3 else 0
+        except ValueError:
+            raise TraceImportError(
+                f"{path}:{lineno}: PC/ADDR must be decimal or 0x-hex "
+                f"integers, got {line!r}"
+            ) from None
+        if op in _MEM_OPS and len(fields) != 3:
+            raise TraceImportError(
+                f"{path}:{lineno}: op {op!r} requires an ADDR field"
+            )
+        if op not in _MEM_OPS and len(fields) == 3:
+            raise TraceImportError(
+                f"{path}:{lineno}: op {op!r} takes no ADDR field"
+            )
+        return pc, addr, _MEMTRACE_OPS[op]
+
     def load(self, path: PathLike) -> Trace:
         path = pathlib.Path(path)
         pcs, addrs, flags = [], [], []
         for lineno, line in self._lines(path):
-            delimiter = self.delimiter or ("," if "," in line else None)
-            fields = [f.strip() for f in line.split(delimiter)]
-            fields = [f for f in fields if f]
-            if not 2 <= len(fields) <= 3:
-                raise TraceImportError(
-                    f"{path}:{lineno}: expected PC,OP[,ADDR], got "
-                    f"{len(fields)} field(s) in {line!r}"
-                )
-            op = fields[1].upper()
-            if op not in _MEMTRACE_OPS:
-                raise TraceImportError(
-                    f"{path}:{lineno}: unknown op {fields[1]!r}; valid: "
-                    f"{'/'.join(sorted(_MEMTRACE_OPS))}"
-                )
-            try:
-                pc = _parse_int(fields[0])
-                addr = _parse_int(fields[2]) if len(fields) == 3 else 0
-            except ValueError:
-                raise TraceImportError(
-                    f"{path}:{lineno}: PC/ADDR must be decimal or 0x-hex "
-                    f"integers, got {line!r}"
-                ) from None
-            if op in _MEM_OPS and len(fields) != 3:
-                raise TraceImportError(
-                    f"{path}:{lineno}: op {op!r} requires an ADDR field"
-                )
-            if op not in _MEM_OPS and len(fields) == 3:
-                raise TraceImportError(
-                    f"{path}:{lineno}: op {op!r} takes no ADDR field"
-                )
+            pc, addr, flag = self._parse_line(path, lineno, line)
             pcs.append(pc)
             addrs.append(addr)
-            flags.append(_MEMTRACE_OPS[op])
+            flags.append(flag)
         if not pcs:
             raise TraceImportError(f"{path}: empty memtrace (no instructions)")
         return Trace(
@@ -215,6 +222,61 @@ class MemtraceAdapter:
             flags=np.asarray(flags, dtype=np.uint8),
             metadata={"source_format": self.name},
         )
+
+    def iter_rows(self, path: PathLike, batch: int = 4096):
+        """Parse incrementally: yield ``(pcs, addrs, flags)`` array
+        triples of at most ``batch`` rows, holding O(batch) memory
+        instead of the whole file."""
+        path = pathlib.Path(path)
+        pcs, addrs, flags = [], [], []
+        lineno = 0
+        try:
+            handle = open(path, "r")
+        except OSError as exc:
+            raise TraceImportError(
+                f"cannot read trace file {path}: {exc}"
+            ) from None
+        with handle:
+            while True:
+                try:
+                    raw = handle.readline()
+                except OSError as exc:
+                    raise TraceImportError(
+                        f"cannot read trace file {path}: {exc}"
+                    ) from None
+                except UnicodeDecodeError as exc:
+                    raise TraceImportError(
+                        f"{path}: not a text memtrace file ({exc}); "
+                        f"use the 'npz' adapter for binary archives"
+                    ) from None
+                if not raw:
+                    break
+                lineno += 1
+                line = raw.split("#", 1)[0].strip()
+                if not line:
+                    continue
+                pc, addr, flag = self._parse_line(path, lineno, line)
+                pcs.append(pc)
+                addrs.append(addr)
+                flags.append(flag)
+                if len(pcs) >= batch:
+                    yield (
+                        np.asarray(pcs, dtype=np.int64),
+                        np.asarray(addrs, dtype=np.int64),
+                        np.asarray(flags, dtype=np.uint8),
+                    )
+                    pcs, addrs, flags = [], [], []
+        if pcs:
+            yield (
+                np.asarray(pcs, dtype=np.int64),
+                np.asarray(addrs, dtype=np.int64),
+                np.asarray(flags, dtype=np.uint8),
+            )
+
+    def iter_blocks(self, path: PathLike,
+                    block_size: int) -> Iterator[TraceBlock]:
+        """The file as fixed-size :class:`TraceBlock`\\ s (streaming)."""
+        return reblock(self.iter_rows(path), block_size)
 
 
 class NpzAdapter:
@@ -242,6 +304,17 @@ class NpzAdapter:
             return load_trace(path)
         except TraceFormatError as exc:
             raise TraceImportError(str(exc)) from None
+
+    def iter_rows(self, path: PathLike):
+        """One triple covering the whole archive (``.npz`` members are
+        compressed monoliths, so there is no cheaper unit to read)."""
+        trace = self.load(path)
+        yield trace.pcs, trace.addrs, trace.flags
+
+    def iter_blocks(self, path: PathLike,
+                    block_size: int) -> Iterator[TraceBlock]:
+        """The archive as fixed-size :class:`TraceBlock`\\ s."""
+        return reblock(self.iter_rows(path), block_size)
 
 
 #: adapter registry keyed by format name.  :mod:`repro.api.registry`
@@ -302,6 +375,9 @@ class ExternalTraceSpec(WorkloadSpec):
     def build(self, length: int) -> Trace:
         return build_external_trace(self, length)
 
+    def stream(self, length: int, block_size: int) -> TraceStream:
+        return stream_external_trace(self, length, block_size)
+
 
 def _fit_to_length(trace: Trace, length: int) -> Trace:
     """Replay/truncate a native-length trace to ``length`` instructions.
@@ -326,15 +402,7 @@ def _fit_to_length(trace: Trace, length: int) -> Trace:
 
 def build_external_trace(spec: ExternalTraceSpec, length: int) -> Trace:
     """Load ``spec``'s file, verify its content hash, fit to ``length``."""
-    params = dict(spec.params)
-    recorded = params.get("sha256")
-    digest = file_sha256(spec.path)
-    if recorded != digest:
-        raise TraceImportError(
-            f"{spec.path}: content changed since import (sha256 "
-            f"{digest[:12]}..., recorded {str(recorded)[:12]}...); "
-            f"re-import to refresh the workload identity"
-        )
+    params, digest = _verify_content(spec)
     adapter = make_adapter(params["adapter"], _adapter_params(params))
     native = adapter.load(spec.path)
     _NATIVE_LENGTHS[spec.params] = len(native)
@@ -350,6 +418,69 @@ def build_external_trace(spec: ExternalTraceSpec, length: int) -> Trace:
             "sha256": digest,
             "adapter": params["adapter"],
             "native_length": len(native),
+        },
+    )
+
+
+def _verify_content(spec: ExternalTraceSpec) -> Tuple[dict, str]:
+    """Re-verify the file against the spec's recorded sha256; return the
+    spec params dict and the digest."""
+    params = dict(spec.params)
+    recorded = params.get("sha256")
+    digest = file_sha256(spec.path)
+    if recorded != digest:
+        raise TraceImportError(
+            f"{spec.path}: content changed since import (sha256 "
+            f"{digest[:12]}..., recorded {str(recorded)[:12]}...); "
+            f"re-import to refresh the workload identity"
+        )
+    return params, digest
+
+
+def stream_external_trace(
+    spec: ExternalTraceSpec, length: int, block_size: int
+) -> TraceStream:
+    """Stream ``spec``'s file as fixed-size blocks fitted to ``length``.
+
+    The streamed counterpart of :func:`build_external_trace`: the file's
+    content hash is verified the same way, the native rows replay
+    cyclically until ``length`` instructions have been emitted
+    (:func:`_fit_to_length` semantics), and — for line-oriented
+    adapters — only O(batch + block_size) rows are resident at a time.
+    """
+    if length <= 0:
+        raise TraceImportError(f"trace length must be positive, got {length}")
+    params, digest = _verify_content(spec)
+    adapter = make_adapter(params["adapter"], _adapter_params(params))
+
+    def rows():
+        emitted = 0
+        while emitted < length:
+            produced = 0
+            for triple in adapter.iter_rows(spec.path):
+                n = len(triple[0])
+                produced += n
+                emitted += n
+                yield triple
+                if emitted >= length:
+                    return
+            if produced == 0:
+                raise TraceImportError(
+                    f"{spec.path}: empty trace (no instructions)"
+                )
+            _NATIVE_LENGTHS.setdefault(spec.params, produced)
+
+    return TraceStream(
+        name=spec.name,
+        suite=spec.suite,
+        length=length,
+        block_size=block_size,
+        factory=lambda: reblock(rows(), block_size, limit=length),
+        metadata={
+            "source": str(spec.path),
+            "sha256": digest,
+            "adapter": params["adapter"],
+            "native_length": _native_length(spec),
         },
     )
 

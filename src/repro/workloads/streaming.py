@@ -1,0 +1,445 @@
+"""Chunked trace streaming: fixed-size instruction blocks on demand.
+
+The materialized path builds a whole :class:`~repro.workloads.trace.Trace`
+in memory — three parallel arrays of ``trace_length`` entries — which caps
+practical trace lengths and multiplies resident memory under concurrent
+pool traffic.  This module is the streaming substrate: a trace becomes a
+:class:`TraceStream` that yields fixed-size :class:`TraceBlock`\\ s, so the
+simulators (whose run loops already consume the trace through a pre-chunk
+seam) hold only O(block_size) instructions at a time.
+
+The generators' scalar reference emitters are reused unchanged: a
+producer thread runs them with their *full* instruction budgets against a
+:class:`BlockAssembler` (a ``TraceBuilder``-compatible facade), and
+:func:`pump_blocks` hands finished blocks across a bounded queue.
+Running the emitters with full budgets is what keeps the streamed output
+*byte-identical* to the materialized trace — the emitters' budget-clamped
+filler near the end of a phase consumes RNG draws as a function of the
+total budget, so carving the budget into per-block pieces would change
+the stream.  The bounded queue (not the block size) is what bounds
+memory: at most ``_QUEUE_DEPTH + 2`` blocks exist at once.
+
+Equivalence with the materialized path at every block size is pinned by
+``tests/test_streaming_equivalence.py`` against the 288 golden trace
+digests and the golden simulation outputs.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, List, Optional
+
+import numpy as np
+
+from .trace import Trace
+
+#: finished blocks buffered between the producer thread and the consumer;
+#: together with the assembler's working set this bounds resident memory
+#: at a few blocks regardless of trace length.
+_QUEUE_DEPTH = 4
+
+#: producer-side put timeout (seconds) between abandonment checks.
+_PUT_TIMEOUT = 0.1
+
+
+@dataclass
+class TraceBlock:
+    """One fixed-size slab of a streamed trace.
+
+    ``start`` is the block's first global instruction index; ``index`` is
+    the block ordinal.  The arrays are parallel, in the same dtypes as
+    :class:`~repro.workloads.trace.Trace` columns.
+    """
+
+    index: int
+    start: int
+    pcs: np.ndarray
+    addrs: np.ndarray
+    flags: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.pcs)
+
+    @property
+    def stop(self) -> int:
+        return self.start + len(self.pcs)
+
+
+class TraceStream:
+    """A trace served as an iterable of :class:`TraceBlock`\\ s.
+
+    ``factory`` returns a fresh block iterator per traversal, so a stream
+    can be replayed (the multi-core simulator loops traces back-to-back).
+    ``seek``, when provided (the per-chunk disk cache can start reading at
+    any chunk), maps a chunk index to an iterator beginning there; without
+    it :meth:`iter_from` falls back to skipping from the start.
+
+    ``name`` is deliberately mutable: the materialized composer renames an
+    overshooting trace on truncation (``name[0:length]``), which a stream
+    only discovers once emission finishes, so producers update it on
+    completion.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        suite: str,
+        length: int,
+        block_size: int,
+        factory: Callable[[], Iterable[TraceBlock]],
+        seek: Optional[Callable[[int], Iterable[TraceBlock]]] = None,
+        metadata: Optional[dict] = None,
+    ) -> None:
+        if block_size <= 0:
+            raise ValueError("block_size must be positive")
+        self.name = name
+        self.suite = suite
+        self.length = length
+        self.block_size = block_size
+        self.metadata = metadata or {}
+        self._factory = factory
+        self._seek = seek
+
+    def __len__(self) -> int:
+        return self.length
+
+    @property
+    def num_instructions(self) -> int:
+        return self.length
+
+    def __iter__(self) -> Iterator[TraceBlock]:
+        return iter(self._factory())
+
+    def iter_from(self, position: int) -> Iterator[TraceBlock]:
+        """Yield blocks covering global positions ``[position, length)``.
+
+        The first yielded block is trimmed to begin exactly at
+        ``position`` (its ``start`` reflects the trim), so a checkpointed
+        run can re-enter the measured region without replaying the
+        prefix.
+        """
+        if position <= 0:
+            yield from self
+            return
+        if self._seek is not None:
+            blocks = self._seek(position // self.block_size)
+        else:
+            blocks = self._factory()
+        for block in blocks:
+            if block.stop <= position:
+                continue
+            if block.start < position:
+                cut = position - block.start
+                yield TraceBlock(
+                    index=block.index,
+                    start=position,
+                    pcs=block.pcs[cut:],
+                    addrs=block.addrs[cut:],
+                    flags=block.flags[cut:],
+                )
+            else:
+                yield block
+
+    def materialize(self) -> Trace:
+        """Assemble the whole stream into an in-memory :class:`Trace`.
+
+        Debug/reference helper — it defeats the memory bound on purpose.
+        """
+        pcs: List[np.ndarray] = []
+        addrs: List[np.ndarray] = []
+        flags: List[np.ndarray] = []
+        for block in self:
+            pcs.append(block.pcs)
+            addrs.append(block.addrs)
+            flags.append(block.flags)
+        if pcs:
+            parts = (np.concatenate(pcs), np.concatenate(addrs),
+                     np.concatenate(flags))
+        else:
+            parts = (np.empty(0, np.int64), np.empty(0, np.int64),
+                     np.empty(0, np.uint8))
+        return Trace(
+            name=self.name,
+            suite=self.suite,
+            pcs=parts[0],
+            addrs=parts[1],
+            flags=parts[2],
+            metadata=dict(self.metadata),
+        )
+
+
+class BlockAssembler:
+    """``TraceBuilder``-compatible facade that emits fixed-size blocks.
+
+    The generators' scalar emitters write into it exactly as they write
+    into a :class:`~repro.workloads.trace.TraceBuilder`; whenever a full
+    ``block_size`` worth of instructions has accumulated, the assembler
+    hands one :class:`TraceBlock` to ``emit`` and drops its rows.
+
+    ``__len__`` counts *every* row ever appended — including rows past
+    ``limit``, which are dropped rather than buffered.  That matches the
+    materialized composer's arithmetic exactly: there the builder keeps
+    overshoot rows and ``_compose`` truncates with ``trace.slice``; here
+    the truncation happens at append time, but the pad-to-length check
+    (``len(builder) < length``) still sees the same count.
+    """
+
+    def __init__(
+        self,
+        block_size: int,
+        emit: Callable[[TraceBlock], None],
+        limit: Optional[int] = None,
+    ) -> None:
+        if block_size <= 0:
+            raise ValueError("block_size must be positive")
+        self._block_size = block_size
+        self._emit = emit
+        self._limit = limit
+        self._count = 0  # total rows appended (TraceBuilder length)
+        self._kept = 0  # rows not dropped by the limit
+        # open scalar segment + closed numpy segments, as in TraceBuilder
+        self._pcs: list = []
+        self._addrs: list = []
+        self._flags: list = []
+        self._segments: list = []
+        self._buffered = 0
+        self._next_index = 0
+        self._next_start = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    # -- TraceBuilder append API -------------------------------------------
+
+    def add(self, pc: int, addr: int = 0, flags: int = 0) -> None:
+        self._count += 1
+        if self._limit is not None and self._kept >= self._limit:
+            return
+        self._kept += 1
+        self._pcs.append(pc)
+        self._addrs.append(addr)
+        self._flags.append(flags)
+        self._buffered += 1
+        if self._buffered >= self._block_size:
+            self._drain()
+
+    def extend(
+        self, pcs: np.ndarray, addrs: np.ndarray, flags: np.ndarray
+    ) -> None:
+        if not (len(pcs) == len(addrs) == len(flags)):
+            raise ValueError("extend() arrays must be parallel")
+        n = len(pcs)
+        self._count += n
+        if n == 0:
+            return
+        if self._limit is not None:
+            room = self._limit - self._kept
+            if room <= 0:
+                return
+            if n > room:
+                pcs, addrs, flags, n = pcs[:room], addrs[:room], \
+                    flags[:room], room
+        self._kept += n
+        self._close_scalar_segment()
+        self._segments.append((
+            np.asarray(pcs, dtype=np.int64),
+            np.asarray(addrs, dtype=np.int64),
+            np.asarray(flags, dtype=np.uint8),
+        ))
+        self._buffered += n
+        if self._buffered >= self._block_size:
+            self._drain()
+
+    def load(self, pc: int, addr: int, dependent: bool = False) -> None:
+        from .trace import FLAG_DEP, FLAG_LOAD
+        self.add(pc, addr, FLAG_LOAD | (FLAG_DEP if dependent else 0))
+
+    def store(self, pc: int, addr: int) -> None:
+        from .trace import FLAG_STORE
+        self.add(pc, addr, FLAG_STORE)
+
+    def nop(self, pc: int, count: int = 1) -> None:
+        for _ in range(count):
+            self.add(pc, 0, 0)
+
+    def branch(self, pc: int, mispredicted: bool = False) -> None:
+        from .trace import FLAG_BRANCH, FLAG_MISPRED
+        self.add(pc, 0, FLAG_BRANCH | (FLAG_MISPRED if mispredicted else 0))
+
+    # -- block assembly -----------------------------------------------------
+
+    def _close_scalar_segment(self) -> None:
+        if self._pcs:
+            self._segments.append((
+                np.asarray(self._pcs, dtype=np.int64),
+                np.asarray(self._addrs, dtype=np.int64),
+                np.asarray(self._flags, dtype=np.uint8),
+            ))
+            self._pcs, self._addrs, self._flags = [], [], []
+
+    def _pop_block(self, size: int) -> TraceBlock:
+        """Assemble exactly ``size`` rows from the front of the buffer."""
+        parts: list = []
+        need = size
+        while need:
+            seg = self._segments[0]
+            avail = len(seg[0])
+            if avail <= need:
+                parts.append(seg)
+                self._segments.pop(0)
+                need -= avail
+            else:
+                parts.append(tuple(col[:need] for col in seg))
+                self._segments[0] = tuple(col[need:] for col in seg)
+                need = 0
+        if len(parts) == 1:
+            pcs, addrs, flags = parts[0]
+        else:
+            pcs, addrs, flags = (
+                np.concatenate([seg[col] for seg in parts])
+                for col in range(3)
+            )
+        block = TraceBlock(
+            index=self._next_index,
+            start=self._next_start,
+            pcs=pcs,
+            addrs=addrs,
+            flags=flags,
+        )
+        self._next_index += 1
+        self._next_start += size
+        self._buffered -= size
+        return block
+
+    def _drain(self) -> None:
+        self._close_scalar_segment()
+        while self._buffered >= self._block_size:
+            self._emit(self._pop_block(self._block_size))
+
+    def finish(self) -> int:
+        """Flush the partial tail block; return the total row count."""
+        self._close_scalar_segment()
+        self._drain()
+        if self._buffered:
+            self._emit(self._pop_block(self._buffered))
+        return self._count
+
+
+class _Abandoned(Exception):
+    """Raised inside the producer thread when the consumer went away."""
+
+
+def pump_blocks(
+    producer: Callable[[BlockAssembler], None],
+    block_size: int,
+    limit: int,
+    on_complete: Optional[Callable[[int], None]] = None,
+) -> Iterator[TraceBlock]:
+    """Run ``producer`` in a thread; yield its blocks as they finish.
+
+    ``producer(assembler)`` writes the whole trace through a
+    :class:`BlockAssembler` capped at ``limit`` rows.  Blocks cross a
+    bounded queue, so the producer stalls once ``_QUEUE_DEPTH`` blocks
+    are waiting — resident memory stays O(block_size) however long the
+    trace is.  ``on_complete(total_rows)`` fires after the last block
+    (the total includes dropped overshoot rows, letting callers mirror
+    the materialized path's truncation rename).
+
+    Abandoning the generator (break / close) flags the producer thread,
+    which aborts at its next queue put.
+    """
+    out: "queue.Queue" = queue.Queue(maxsize=_QUEUE_DEPTH)
+    abandoned = threading.Event()
+
+    def put(item) -> None:
+        while True:
+            try:
+                out.put(item, timeout=_PUT_TIMEOUT)
+                return
+            except queue.Full:
+                if abandoned.is_set():
+                    raise _Abandoned from None
+
+    def run() -> None:
+        try:
+            assembler = BlockAssembler(
+                block_size, lambda block: put(("block", block)), limit=limit
+            )
+            producer(assembler)
+            put(("done", assembler.finish()))
+        except _Abandoned:
+            pass
+        except BaseException as exc:  # surfaced on the consumer side
+            try:
+                put(("error", exc))
+            except _Abandoned:
+                pass
+
+    thread = threading.Thread(target=run, name="trace-pump", daemon=True)
+    thread.start()
+    try:
+        while True:
+            kind, payload = out.get()
+            if kind == "block":
+                yield payload
+            elif kind == "done":
+                if on_complete is not None:
+                    on_complete(payload)
+                return
+            else:
+                raise payload
+    finally:
+        abandoned.set()
+        while True:  # unblock a producer stuck on a full queue
+            try:
+                out.get_nowait()
+            except queue.Empty:
+                break
+        thread.join(timeout=5.0)
+
+
+def blocks_from_trace(
+    trace: Trace, block_size: int, start_index: int = 0
+) -> Iterator[TraceBlock]:
+    """Re-block a materialized trace (views, no copies).
+
+    ``start_index`` makes this double as the ``seek`` callable for
+    streams backed by whole-trace storage tiers.
+    """
+    if block_size <= 0:
+        raise ValueError("block_size must be positive")
+    n = len(trace)
+    for index in range(start_index, -(-n // block_size) if n else 0):
+        lo = index * block_size
+        hi = min(lo + block_size, n)
+        yield TraceBlock(
+            index=index,
+            start=lo,
+            pcs=trace.pcs[lo:hi],
+            addrs=trace.addrs[lo:hi],
+            flags=trace.flags[lo:hi],
+        )
+
+
+def reblock(
+    rows: Iterable, block_size: int, limit: Optional[int] = None
+) -> Iterator[TraceBlock]:
+    """Repack arbitrary ``(pcs, addrs, flags)`` array triples into
+    fixed-size blocks — the adapter-facing half of the block API
+    (external trace files arrive in whatever chunks the parser found
+    convenient)."""
+    collected: list = []
+
+    def emit(block: TraceBlock) -> None:
+        collected.append(block)
+
+    assembler = BlockAssembler(block_size, emit, limit=limit)
+    for pcs, addrs, flags in rows:
+        assembler.extend(pcs, addrs, flags)
+        while collected:
+            yield collected.pop(0)
+    assembler.finish()
+    while collected:
+        yield collected.pop(0)

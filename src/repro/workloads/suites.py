@@ -20,10 +20,13 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from .generators import GENERATORS
 from .trace import Trace
+
+if TYPE_CHECKING:
+    from .streaming import TraceStream
 
 
 @dataclass(frozen=True)
@@ -48,6 +51,19 @@ class WorkloadSpec:
         generator = GENERATORS[self.pattern]
         return generator(
             self.name, self.suite, self.seed, length, **dict(self.params)
+        )
+
+    def stream(self, length: int, block_size: int) -> "TraceStream":
+        """Emit this workload as fixed-size blocks (raw, uncached).
+
+        Byte-identical to :meth:`build` at every block size; route
+        through :func:`stream_trace` to reuse the trace cache's tiers.
+        """
+        from .generators import stream_workload
+
+        return stream_workload(
+            self.pattern, self.name, self.suite, self.seed, length,
+            block_size, **dict(self.params)
         )
 
     def canonical_recipe(self) -> dict:
@@ -448,3 +464,19 @@ def build_trace(spec: WorkloadSpec, length: int) -> Trace:
     from .tracecache import trace_cache
 
     return trace_cache().get_or_build(spec, length)
+
+
+def stream_trace(
+    spec: WorkloadSpec, length: int, block_size: int
+) -> "TraceStream":
+    """Serve the trace for ``(spec, length)`` as fixed-size blocks.
+
+    The streaming analogue of :func:`build_trace`: resolves through the
+    process-wide cache's tiers (whole-trace memory/disk entries are
+    re-blocked; otherwise the per-chunk disk tier streams chunks without
+    ever materializing the whole trace — see
+    :meth:`~repro.workloads.tracecache.TraceCache.stream`).
+    """
+    from .tracecache import trace_cache
+
+    return trace_cache().stream(spec, length, block_size)

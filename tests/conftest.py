@@ -1,0 +1,10 @@
+"""Shared pytest configuration for the repository test suite."""
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "memory_ceiling: tracemalloc-based peak-memory regression tests "
+        "(scaled down by default; set REPRO_MEMTEST_FULL=1 for the full "
+        "10x-trace-length run)",
+    )

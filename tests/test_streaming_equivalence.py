@@ -1,0 +1,554 @@
+"""Chunk-boundary equivalence battery for the streaming trace substrate.
+
+The streaming path (:mod:`repro.workloads.streaming`, the per-chunk
+cache tier, ``Simulator._run_streamed``, ``_StreamedCoreContext``) must
+be *bit-identical* to the materialized reference at every block size.
+This suite pins that invariant from four directions:
+
+- every golden trace digest (``tests/golden/trace_hashes.json``)
+  reproduces when the trace is emitted block-at-a-time, at block sizes
+  {1, 64, 1024, full} and at adversarial sizes (1, 7, prime, len-1,
+  len, len+1, > len) across all twelve workload families;
+- every golden simulation payload (``tests/golden/*.json``) reproduces
+  when the engine executes streamed (``REPRO_STREAM_BLOCK``), single-
+  and multi-core, at block sizes {1, 64, 1024, full};
+- producer/consumer mixes whose sync events straddle chunk edges
+  produce payload-identical results streamed vs materialized;
+- warmup checkpoints re-enter the measured region with stats identical
+  to an uninterrupted run, including through the durable queue after a
+  worker crash.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+import golden_cases
+import trace_goldens
+
+from repro.engine import JobQueue, QueueWorker, ResultStore
+from repro.engine.faults import ExecutionPolicy
+from repro.engine.jobs import (
+    MixRequest,
+    RunRequest,
+    _build_policy,
+    encode_result,
+)
+from repro.experiments.configs import CacheDesign, build_hierarchy
+from repro.sim.simulator import Simulator
+from repro.workloads.generators import WORKLOAD_PLANS
+from repro.workloads.streaming import (
+    BlockAssembler,
+    TraceStream,
+    blocks_from_trace,
+    reblock,
+)
+from repro.workloads.suites import find_workload
+from repro.workloads.tracecache import TraceCache, reset_trace_cache
+from test_hotpath_equivalence import _describe_diff
+
+GOLDEN_DIGESTS = json.loads(trace_goldens.GOLDEN_PATH.read_text())
+SPECS = trace_goldens.all_specs()
+
+#: the acceptance grid: pathological, small, realistic, and whole-trace.
+BLOCK_SIZES = (1, 64, 1024, None)
+
+
+def _block_ids(sizes):
+    return [f"b{size}" if size else "bfull" for size in sizes]
+
+
+def _golden_digest(spec, length):
+    return GOLDEN_DIGESTS[trace_goldens.case_key(spec, length)]
+
+
+@pytest.fixture()
+def fresh_cache():
+    """A memory-only process cache, so tier state never leaks between
+    tests (streamed golden runs must exercise the cold pump, not a
+    whole-trace entry left by an earlier test)."""
+    cache = reset_trace_cache(TraceCache(max_bytes=1 << 30, disk_dir=None))
+    yield cache
+    reset_trace_cache()
+
+
+# ---------------------------------------------------------------------------
+# trace digests: all specs, all golden lengths, acceptance block sizes
+# ---------------------------------------------------------------------------
+
+class TestGoldenDigestsStreamed:
+    @pytest.mark.parametrize("block_size", BLOCK_SIZES,
+                             ids=_block_ids(BLOCK_SIZES))
+    def test_all_specs_reproduce_golden_digests(self, block_size):
+        """All 288 golden digests reproduce at every acceptance block
+        size.  Loops internally (1152 builds) to keep collection cheap;
+        reports every mismatch, not just the first."""
+        mismatches = []
+        for spec in SPECS:
+            for length in trace_goldens.LENGTHS:
+                block = block_size or length
+                trace = spec.stream(length, block).materialize()
+                if trace_goldens.trace_digest(trace) != \
+                        _golden_digest(spec, length):
+                    mismatches.append(f"{spec.name}@{length} block={block}")
+        assert not mismatches, (
+            f"{len(mismatches)} streamed digests diverge from golden: "
+            + ", ".join(mismatches[:10])
+        )
+
+    def test_battery_covers_the_recorded_golden_set(self):
+        assert len(SPECS) * len(trace_goldens.LENGTHS) == len(GOLDEN_DIGESTS)
+
+
+# ---------------------------------------------------------------------------
+# adversarial block sizes across every workload family
+# ---------------------------------------------------------------------------
+
+def _family_representatives():
+    reps = {}
+    for spec in SPECS:
+        reps.setdefault(spec.pattern, spec)
+    return reps
+
+
+_REPS = _family_representatives()
+_ADV_LENGTH = 2_500
+#: 1, small coprime, prime, len-1, len, len+1, > len.
+_ADVERSARIAL = (1, 7, 997, _ADV_LENGTH - 1, _ADV_LENGTH,
+                _ADV_LENGTH + 1, 20_000)
+
+
+class TestAdversarialBlockSizes:
+    def test_every_family_is_represented(self):
+        assert set(_REPS) == set(WORKLOAD_PLANS)
+
+    @pytest.mark.parametrize(
+        "spec", list(_REPS.values()),
+        ids=[f"{p}:{s.name}" for p, s in _REPS.items()])
+    def test_digest_invariant_under_block_size(self, spec):
+        want = _golden_digest(spec, _ADV_LENGTH)
+        for block in _ADVERSARIAL:
+            stream = spec.stream(_ADV_LENGTH, block)
+            blocks = list(stream)
+            # structural invariants: contiguous, aligned, full-size
+            # except the tail, summing to exactly the trace length.
+            assert [b.index for b in blocks] == list(range(len(blocks)))
+            assert [b.start for b in blocks] == \
+                [i * block for i in range(len(blocks))]
+            assert all(len(b) == block for b in blocks[:-1])
+            assert sum(len(b) for b in blocks) == _ADV_LENGTH
+            pcs = np.concatenate([b.pcs for b in blocks])
+            addrs = np.concatenate([b.addrs for b in blocks])
+            flags = np.concatenate([b.flags for b in blocks])
+            digest = trace_goldens.trace_digest(
+                type("T", (), {"pcs": pcs, "addrs": addrs, "flags": flags}))
+            assert digest == want, f"{spec.name} diverges at block={block}"
+
+    def test_overshoot_truncation_renames_like_the_builder(self):
+        """The scalar emitters overshoot non-round lengths; the stream
+        must apply the same truncation rename as the materialized
+        builder so metadata-sensitive consumers agree."""
+        spec = _REPS["streaming"]
+        length = 2_501
+        built = spec.build(length)
+        stream = spec.stream(length, 64)
+        streamed = stream.materialize()
+        assert streamed.name == built.name
+        assert len(streamed) == len(built) == length
+        assert trace_goldens.trace_digest(streamed) == \
+            trace_goldens.trace_digest(built)
+
+
+# ---------------------------------------------------------------------------
+# golden simulation payloads through the engine's streaming gate
+# ---------------------------------------------------------------------------
+
+class TestGoldenPayloadsStreamed:
+    """Every recorded golden case — 8 single-core runs and 3 mixes —
+    re-executed through ``RunRequest``/``MixRequest`` with
+    ``REPRO_STREAM_BLOCK`` set, at every acceptance block size."""
+
+    @pytest.mark.parametrize("block_size",
+                             (1, 64, 1024, golden_cases.TRACE_LENGTH),
+                             ids=("b1", "b64", "b1024", "bfull"))
+    @pytest.mark.parametrize("name", golden_cases.case_names())
+    def test_streamed_execution_reproduces_golden(
+            self, name, block_size, monkeypatch, fresh_cache):
+        monkeypatch.setenv("REPRO_STREAM_BLOCK", str(block_size))
+        got = golden_cases.execute_case(name)
+        want = json.loads(golden_cases.golden_path(name).read_text())
+        assert got == want, _describe_diff(got, want)
+        # the gate streamed: the run was a cold build, never a re-block
+        # of a materialized cache entry.
+        assert fresh_cache.stats.builds >= 1
+        assert fresh_cache.stats.hits == 0
+
+
+# ---------------------------------------------------------------------------
+# sync events straddling chunk edges
+# ---------------------------------------------------------------------------
+
+class TestSyncStraddle:
+    """producer_consumer emits periodic sync pairs (``sync_every``); at
+    coprime block sizes those events land on and straddle chunk edges.
+    Streamed execution must match materialized payloads exactly."""
+
+    STRADDLE_BLOCKS = (7, 64, 997)
+
+    def _payloads(self, request, monkeypatch, fresh_cache):
+        monkeypatch.delenv("REPRO_STREAM_BLOCK", raising=False)
+        want = json.loads(json.dumps(encode_result(request.execute())))
+        got = {}
+        for block in self.STRADDLE_BLOCKS:
+            reset_trace_cache(TraceCache(max_bytes=1 << 30, disk_dir=None))
+            monkeypatch.setenv("REPRO_STREAM_BLOCK", str(block))
+            got[block] = json.loads(json.dumps(
+                encode_result(request.execute())))
+        return want, got
+
+    def test_single_core(self, monkeypatch, fresh_cache):
+        request = RunRequest(
+            spec=find_workload("ext.producer_consumer.0"),
+            trace_length=2_000,
+            design=CacheDesign.cd1(),
+            policy_name="tlp",
+            epoch_length=150,
+            warmup_fraction=0.35,
+        )
+        want, got = self._payloads(request, monkeypatch, fresh_cache)
+        for block, payload in got.items():
+            assert payload == want, \
+                f"block={block}: {_describe_diff(payload, want)}"
+
+    def test_two_core_mix(self, monkeypatch, fresh_cache):
+        request = MixRequest(
+            workloads=(find_workload("ext.producer_consumer.0"),
+                       find_workload("ext.producer_consumer.3")),
+            trace_length=2_000,
+            design=CacheDesign.cd1(),
+            policy_name="tlp",
+            epoch_length=150,
+            warmup_fraction=0.2,
+        )
+        want, got = self._payloads(request, monkeypatch, fresh_cache)
+        for block, payload in got.items():
+            assert payload == want, \
+                f"block={block}: {_describe_diff(payload, want)}"
+
+
+# ---------------------------------------------------------------------------
+# the per-chunk disk tier
+# ---------------------------------------------------------------------------
+
+class TestChunkTier:
+    @pytest.fixture()
+    def disk_cache(self, tmp_path):
+        cache = reset_trace_cache(
+            TraceCache(max_bytes=1 << 30, disk_dir=tmp_path))
+        yield cache
+        reset_trace_cache()
+
+    SPEC_NAME = "spec06.libquantum_like.0"
+    LENGTH = 1_200
+    BLOCK = 256
+
+    def _stream(self, cache):
+        spec = find_workload(self.SPEC_NAME)
+        return cache.stream(spec, self.LENGTH, self.BLOCK)
+
+    def _chunk_dir(self, cache):
+        from repro.workloads.tracecache import fingerprint
+
+        spec = find_workload(self.SPEC_NAME)
+        key = fingerprint(spec, self.LENGTH)
+        return cache.disk_dir / "chunks" / f"{key}.b{self.BLOCK}"
+
+    def test_cold_stream_writes_a_complete_chunk_set(self, disk_cache):
+        trace = self._stream(disk_cache).materialize()
+        assert disk_cache.stats.builds == 1
+        assert disk_cache.stats.chunk_hits == 0
+        cdir = self._chunk_dir(disk_cache)
+        chunks = sorted(p.name for p in cdir.glob("chunk-*.npz"))
+        expected = -(-self.LENGTH // self.BLOCK)
+        assert chunks == [f"chunk-{i:06d}.npz" for i in range(expected)]
+        meta = json.loads((cdir / "meta.json").read_text())
+        assert meta["length"] == self.LENGTH
+        assert meta["block_size"] == self.BLOCK
+        assert meta["chunks"] == expected
+        assert trace_goldens.trace_digest(trace) == trace_goldens.\
+            trace_digest(find_workload(self.SPEC_NAME).build(self.LENGTH))
+
+    def test_warm_stream_serves_from_chunks_without_building(
+            self, disk_cache, tmp_path):
+        cold = self._stream(disk_cache).materialize()
+        # a fresh cache over the same directory models a new process:
+        # the in-memory tier is empty, only the chunk set is warm.
+        warm_cache = reset_trace_cache(
+            TraceCache(max_bytes=1 << 30, disk_dir=tmp_path))
+        warm = self._stream(warm_cache).materialize()
+        assert warm_cache.stats.chunk_hits == 1
+        assert warm_cache.stats.builds == 0
+        assert trace_goldens.trace_digest(warm) == \
+            trace_goldens.trace_digest(cold)
+
+    def test_missing_meta_means_rebuild(self, disk_cache, tmp_path):
+        self._stream(disk_cache).materialize()
+        (self._chunk_dir(disk_cache) / "meta.json").unlink()
+        fresh = reset_trace_cache(
+            TraceCache(max_bytes=1 << 30, disk_dir=tmp_path))
+        fresh.stream(find_workload(self.SPEC_NAME), self.LENGTH,
+                     self.BLOCK).materialize()
+        assert fresh.stats.chunk_hits == 0
+        assert fresh.stats.builds == 1
+
+    def test_stale_meta_means_rebuild(self, disk_cache, tmp_path):
+        self._stream(disk_cache).materialize()
+        meta_path = self._chunk_dir(disk_cache) / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        meta["length"] = self.LENGTH + 1
+        meta_path.write_text(json.dumps(meta))
+        fresh = reset_trace_cache(
+            TraceCache(max_bytes=1 << 30, disk_dir=tmp_path))
+        fresh.stream(find_workload(self.SPEC_NAME), self.LENGTH,
+                     self.BLOCK).materialize()
+        assert fresh.stats.chunk_hits == 0
+        assert fresh.stats.builds == 1
+
+    def test_chunk_tier_seeks_without_reading_the_prefix(
+            self, disk_cache, tmp_path):
+        reference = self._stream(disk_cache).materialize()
+        warm_cache = reset_trace_cache(
+            TraceCache(max_bytes=1 << 30, disk_dir=tmp_path))
+        stream = self._stream(warm_cache)
+        position = 700  # mid-chunk: chunk 2 must arrive trimmed
+        tail = list(stream.iter_from(position))
+        assert tail[0].start == position
+        got = np.concatenate([b.addrs for b in tail])
+        np.testing.assert_array_equal(got, reference.addrs[position:])
+
+    def test_clear_disk_removes_chunk_sets(self, disk_cache):
+        self._stream(disk_cache).materialize()
+        assert self._chunk_dir(disk_cache).exists()
+        disk_cache.clear(disk=True)
+        assert not (disk_cache.disk_dir / "chunks").exists()
+
+
+# ---------------------------------------------------------------------------
+# stream primitives
+# ---------------------------------------------------------------------------
+
+class TestStreamPrimitives:
+    def _trace(self, length=100):
+        return find_workload("spec06.libquantum_like.0").build(length)
+
+    def test_blocks_from_trace_round_trips(self):
+        trace = self._trace(100)
+        blocks = list(blocks_from_trace(trace, 7))
+        assert len(blocks) == -(-100 // 7)
+        assert sum(len(b) for b in blocks) == 100
+        np.testing.assert_array_equal(
+            np.concatenate([b.pcs for b in blocks]), trace.pcs)
+
+    def test_blocks_from_trace_seeks_by_block(self):
+        trace = self._trace(100)
+        blocks = list(blocks_from_trace(trace, 32, start_index=2))
+        assert blocks[0].index == 2
+        assert blocks[0].start == 64
+        np.testing.assert_array_equal(blocks[0].addrs, trace.addrs[64:96])
+
+    def test_iter_from_trims_the_first_block(self):
+        trace = self._trace(100)
+        stream = TraceStream(
+            name=trace.name, suite=trace.suite, length=100, block_size=32,
+            factory=lambda: blocks_from_trace(trace, 32))
+        tail = list(stream.iter_from(70))
+        assert tail[0].start == 70
+        got = np.concatenate([b.addrs for b in tail])
+        np.testing.assert_array_equal(got, trace.addrs[70:])
+
+    def test_iter_from_zero_is_the_whole_stream(self):
+        trace = self._trace(100)
+        stream = TraceStream(
+            name=trace.name, suite=trace.suite, length=100, block_size=32,
+            factory=lambda: blocks_from_trace(trace, 32))
+        got = np.concatenate([b.addrs for b in stream.iter_from(0)])
+        np.testing.assert_array_equal(got, trace.addrs)
+
+    def test_assembler_truncates_at_the_limit(self):
+        out = []
+        asm = BlockAssembler(10, emit=out.append, limit=25)
+        for i in range(40):
+            asm.add(i, 100 + i, 0)
+        total = asm.finish()
+        assert sum(len(b) for b in out) == 25
+        assert total == len(asm) == 40  # counts all offered rows
+        assert [b.start for b in out] == [0, 10, 20]
+
+    def test_reblock_respects_the_limit(self):
+        trace = self._trace(100)
+        rows = [(trace.pcs[i:i + 13], trace.addrs[i:i + 13],
+                 trace.flags[i:i + 13]) for i in range(0, 100, 13)]
+        blocks = list(reblock(iter(rows), 8, limit=50))
+        assert sum(len(b) for b in blocks) == 50
+        got = np.concatenate([b.pcs for b in blocks])
+        np.testing.assert_array_equal(got, trace.pcs[:50])
+
+
+# ---------------------------------------------------------------------------
+# warmup checkpoints
+# ---------------------------------------------------------------------------
+
+class TestWarmupCheckpoint:
+    CASE = ("spec06.mcf_like.0", "athena")
+    LENGTH = golden_cases.TRACE_LENGTH
+    WARMUP_END = int(LENGTH * golden_cases.WARMUP_FRACTION)
+
+    def _stream(self, block=512):
+        return find_workload(self.CASE[0]).stream(self.LENGTH, block)
+
+    def _simulator(self, block=512):
+        return Simulator(
+            self._stream(block),
+            build_hierarchy(CacheDesign.cd1()),
+            policy=_build_policy(self.CASE[1], None, ()),
+            epoch_length=golden_cases.EPOCH_LENGTH,
+            warmup_fraction=golden_cases.WARMUP_FRACTION,
+        )
+
+    def _golden(self):
+        name = f"run__{self.CASE[0]}__{self.CASE[1]}"
+        return json.loads(golden_cases.golden_path(name).read_text())
+
+    @staticmethod
+    def _payload(result):
+        return json.loads(json.dumps(encode_result(result)))
+
+    @pytest.mark.parametrize("position", (137, 2_100, 5_999),
+                             ids=("mid-warmup", "warmup-end", "last"))
+    def test_resume_matches_the_uninterrupted_run(self, position):
+        assert self.WARMUP_END == 2_100  # mid-warmup/after split is real
+        sim = self._simulator()
+        uninterrupted = sim.run(checkpoint_at=position)
+        golden = self._golden()
+        assert self._payload(uninterrupted) == golden
+        checkpoint = sim.checkpoint
+        assert checkpoint is not None
+        assert checkpoint.position == position
+        resumed = Simulator.resume(self._stream(), checkpoint)
+        assert self._payload(resumed) == golden
+
+    def test_checkpoint_resumes_more_than_once(self):
+        sim = self._simulator()
+        sim.run(checkpoint_at=1_000)
+        checkpoint = sim.checkpoint
+        first = self._payload(Simulator.resume(self._stream(), checkpoint))
+        second = self._payload(Simulator.resume(self._stream(), checkpoint))
+        assert first == second == self._golden()
+
+    def test_checkpoint_requires_a_streamed_trace(self):
+        sim = Simulator(
+            find_workload(self.CASE[0]).build(1_000),
+            build_hierarchy(CacheDesign.cd1()),
+            epoch_length=150,
+        )
+        with pytest.raises(ValueError, match="streamed"):
+            sim.run(checkpoint_at=10)
+
+    @pytest.mark.parametrize("position", (0, -5, LENGTH + 1))
+    def test_checkpoint_position_must_be_in_range(self, position):
+        sim = self._simulator()
+        with pytest.raises(ValueError, match="checkpoint_at"):
+            sim.run(checkpoint_at=position)
+
+
+# ---------------------------------------------------------------------------
+# crash-resume through the durable queue, streamed
+# ---------------------------------------------------------------------------
+
+def _spawn_worker(queue_path, store_path, *, lease_ttl, env_extra=None):
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    env.update(env_extra or {})
+    argv = [sys.executable, "-m", "repro", "worker",
+            "--queue", str(queue_path), "--store", str(store_path),
+            "--lease-ttl", str(lease_ttl)]
+    return subprocess.Popen(argv, env=env,
+                            stdout=subprocess.PIPE,
+                            stderr=subprocess.PIPE)
+
+
+FAST = ExecutionPolicy(max_retries=2, backoff_s=0.0, backoff_factor=1.0,
+                       jitter_fraction=0.0)
+
+
+class TestQueueCrashResumeStreamed:
+    """A SIGKILLed streamed campaign resumes and lands payloads
+    identical to materialized execution — the PR 8 queue path with
+    ``REPRO_STREAM_BLOCK`` in the worker environment."""
+
+    def _requests(self):
+        design = CacheDesign.cd1()
+        return [
+            RunRequest(spec=find_workload(w), trace_length=1_500,
+                       design=design, policy_name=p, epoch_length=150,
+                       warmup_fraction=0.35)
+            for w, p in (("ligra.BFS.0", "none"),
+                         ("spec06.mcf_like.0", "tlp"))
+        ]
+
+    def test_streamed_campaign_survives_sigkill(
+            self, tmp_path, monkeypatch, fresh_cache):
+        requests = self._requests()
+        qpath, spath = tmp_path / "q.sqlite", tmp_path / "s.sqlite"
+        with JobQueue(qpath) as q:
+            q.dispatch([(r.key(), r) for r in requests], max_retries=2)
+
+        # worker A streams, hangs on its first job (injected), and dies.
+        proc = _spawn_worker(
+            qpath, spath, lease_ttl=1.0,
+            env_extra={"REPRO_FAULTS": "hang=1.0,times=1,hang_s=600",
+                       "REPRO_STREAM_BLOCK": "256"})
+        try:
+            deadline = time.time() + 60
+            with JobQueue(qpath) as q:
+                while time.time() < deadline:
+                    if q.counts()["leased"] >= 1:
+                        break
+                    time.sleep(0.05)
+                else:  # pragma: no cover - diagnostic
+                    pytest.fail("worker A never leased a job")
+        finally:
+            proc.kill()
+            proc.wait(timeout=30)
+
+        with JobQueue(qpath) as q:
+            [active] = q.leases()
+            expires = q.get(active.key).lease_expires
+            time.sleep(max(0.0, expires - time.time()) + 0.1)
+            requeued, failed = q.reclaim()
+            assert failed == []
+            assert len(requeued) == 1
+
+            # worker B finishes the campaign, still streaming.
+            monkeypatch.setenv("REPRO_STREAM_BLOCK", "256")
+            store = ResultStore(spath)
+            QueueWorker(q, store=store, policy=FAST,
+                        lease_ttl_s=30.0).run()
+            assert q.counts()["done"] == len(requests)
+
+            # payloads are identical to materialized execution.
+            monkeypatch.delenv("REPRO_STREAM_BLOCK")
+            for request in requests:
+                stored = store.get(request.key())
+                assert stored is not None
+                want = json.loads(json.dumps(
+                    encode_result(request.execute())))
+                assert stored == want, _describe_diff(stored, want)
+            store.close()

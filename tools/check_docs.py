@@ -24,6 +24,7 @@ REQUIRED_DOCS = (
     "README.md",
     "docs/architecture.md",
     "docs/traces.md",
+    "docs/streaming.md",
     "docs/performance.md",
     "docs/observability.md",
     "docs/robustness.md",
